@@ -1,0 +1,1 @@
+bench/bench_breakdown.ml: Array Async_engine Channel Engine Float Harness List Metrics Printf Pstm_engine Pstm_gen Pstm_sim

@@ -1,0 +1,1 @@
+bench/bench_fig13.ml: Array Cluster Harness List Printf Pstm_engine Pstm_gen Pstm_sim

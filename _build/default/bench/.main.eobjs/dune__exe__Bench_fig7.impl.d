@@ -1,0 +1,1 @@
+bench/bench_fig7.ml: Array Driver Harness Ic_queries Is_queries List Printf Pstm_ldbc Pstm_sim Pstm_util Snb_gen

@@ -1,0 +1,1 @@
+bench/bench_fig8.ml: Array Bsp_engine Driver Engine Float Graph Harness Ic_queries List Printf Pstm_engine Pstm_ldbc Pstm_sim Pstm_util Single_node_engine Snb_gen

@@ -1,0 +1,1 @@
+bench/bench_fig9.ml: Harness List Printf Pstm_engine Pstm_gen

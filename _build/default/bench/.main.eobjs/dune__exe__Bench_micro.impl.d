@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Graph Hashtbl Instance List Measure Printf Pstm_core Pstm_gen Pstm_util Staged Test Time Toolkit Value

@@ -1,0 +1,1 @@
+bench/bench_partition.ml: Array Async_engine Engine Float Harness List Partition Printf Pstm_engine Pstm_gen

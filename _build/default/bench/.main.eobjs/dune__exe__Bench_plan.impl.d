@@ -1,0 +1,1 @@
+bench/bench_plan.ml: Engine Harness Ic_queries List Printf Pstm_engine Pstm_ldbc Pstm_query Pstm_sim Pstm_util Snb_gen

@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Engine Float Graph Harness Ic_queries Is_queries List Printf Program Pstm_engine Pstm_gen Pstm_ldbc Pstm_query Pstm_sim Pstm_util Snb_gen

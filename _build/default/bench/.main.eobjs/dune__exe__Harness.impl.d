@@ -1,0 +1,1 @@
+bench/harness.ml: Array Async_engine Bsp_engine Channel Cluster Compile Dsl Engine Graph List Printf Pstm_engine Pstm_query Pstm_util String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_breakdown Bench_fig13 Bench_fig7 Bench_fig8 Bench_fig9 Bench_micro Bench_partition Bench_plan Bench_tables Harness List Option Printf Pstm_ldbc String Sys

@@ -1,0 +1,109 @@
+(* Performance breakdown: Figures 10, 11 and 12.
+
+   Fig 10: query latency with weight coalescing (WC) on vs off.
+   Fig 11: progress-tracking messages vs other messages, WC on vs off.
+   Fig 12: the two-tier I/O scheduler — no batching, thread-level
+   combining only (TLC), and TLC + node-level combining (NLC). *)
+
+open Pstm_engine
+open Pstm_sim
+open Harness
+
+let datasets =
+  [ ("LJ-like", Pstm_gen.Datasets.lj_like); ("FS-like", Pstm_gen.Datasets.fs_like) ]
+
+let hops_list = [ 2; 3; 4 ]
+
+let wc_options on = { Async_engine.default_options with Async_engine.weight_coalescing = on }
+
+(* Figures 10 and 11 come from the same pair of runs. *)
+let weight_coalescing () =
+  let lat_rows = ref [] in
+  let msg_rows = ref [] in
+  List.iter
+    (fun (dname, preset) ->
+      let graph = Pstm_gen.Datasets.load preset in
+      let start = (khop_starts graph ~seed:33 ~n:1).(0) in
+      List.iter
+        (fun hops ->
+          let report_with on =
+            khop_report
+              ~run:(fun g s -> run_graphdance ~options:(wc_options on) g s)
+              graph ~hops ~start
+          in
+          let on = report_with true in
+          let off = report_with false in
+          let lat r = Engine.mean_latency_ms r in
+          let progress r = Metrics.messages r.Engine.metrics Metrics.Progress_msg in
+          let others r =
+            Metrics.total_messages r.Engine.metrics - progress r
+          in
+          let name = Printf.sprintf "%s %d-hop" dname hops in
+          lat_rows :=
+            [
+              name;
+              ms (lat on);
+              ms (lat off);
+              pct (100.0 *. (1.0 -. (lat on /. Float.max (lat off) 1e-9)));
+            ]
+            :: !lat_rows;
+          msg_rows :=
+            [
+              name;
+              string_of_int (progress on);
+              string_of_int (progress off);
+              string_of_int (others on);
+              pct (100.0 *. (1.0 -. (fi (progress on) /. Float.max (fi (progress off)) 1.0)));
+            ]
+            :: !msg_rows)
+        hops_list)
+    datasets;
+  print_table ~title:"Figure 10: impact of weight coalescing on k-hop latency"
+    ~headers:[ "Query"; "WC on (ms)"; "WC off (ms)"; "time saved" ]
+    (List.rev !lat_rows);
+  print_table
+    ~title:"Figure 11: progress-tracking messages vs other messages"
+    ~headers:[ "Query"; "progress (WC)"; "progress (no WC)"; "other msgs"; "reduction" ]
+    (List.rev !msg_rows)
+
+(* Figure 12: channel configurations. *)
+let io_scheduler () =
+  let configs =
+    [
+      ("no batching", Channel.no_batching);
+      ("+TLC", Channel.tlc_only);
+      ("+TLC+NLC", Channel.default_config);
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (dname, preset) ->
+      let graph = Pstm_gen.Datasets.load preset in
+      let start = (khop_starts graph ~seed:34 ~n:1).(0) in
+      List.iter
+        (fun hops ->
+          let lats =
+            List.map
+              (fun (_, channel) ->
+                Engine.mean_latency_ms
+                  (khop_report
+                     ~run:(fun g s -> run_graphdance ~channel g s)
+                     graph ~hops ~start))
+              configs
+          in
+          let base = List.nth lats 0 in
+          let row =
+            (Printf.sprintf "%s %d-hop" dname hops :: List.map ms lats)
+            @ [ Printf.sprintf "%.1fx" (base /. Float.max (List.nth lats 2) 1e-9) ]
+          in
+          rows := row :: !rows)
+        hops_list)
+    datasets;
+  print_table
+    ~title:"Figure 12: two-tier I/O scheduler, k-hop latency (ms)"
+    ~headers:[ "Query"; "no batching"; "+TLC"; "+TLC+NLC"; "speedup" ]
+    (List.rev !rows)
+
+let run () =
+  weight_coalescing ();
+  io_scheduler ()

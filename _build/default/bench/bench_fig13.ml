@@ -1,0 +1,64 @@
+(* Figure 13: hardware impact.
+
+   Relative k-hop latency under reduced network bandwidth and reduced CPU
+   core counts. Expected shape: deep (3-/4-hop) queries speed up
+   substantially on modern hardware (up to ~2.7x in the paper) and need
+   *both* resources, while 2-hop queries are latency-bound and flat. *)
+
+open Harness
+
+let bandwidths = [ 200.0; 50.0; 12.5 ]
+let cores = [ 16; 4 ]
+let hops_list = [ 2; 3; 4 ]
+
+let run () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.fs_like in
+  let start = (khop_starts graph ~seed:35 ~n:1).(0) in
+  let latency ~gbps ~workers ~hops =
+    let config =
+      {
+        (cluster ~nodes:8 ~workers) with
+        Cluster.net = Pstm_sim.Netmodel.with_bandwidth Pstm_sim.Netmodel.default gbps;
+      }
+    in
+    Pstm_engine.Engine.mean_latency_ms
+      (khop_report ~run:(fun g s -> run_graphdance ~config g s) graph ~hops ~start)
+  in
+  let rows =
+    List.concat_map
+      (fun workers ->
+        List.map
+          (fun gbps ->
+            let cells =
+              List.map
+                (fun hops -> latency ~gbps ~workers ~hops)
+                hops_list
+            in
+            Printf.sprintf "%g Gbps x %d cores" gbps workers :: List.map ms cells)
+          bandwidths)
+      cores
+  in
+  (* Normalize against the best (modern) configuration per hop count. *)
+  let best =
+    List.map (fun hops -> latency ~gbps:200.0 ~workers:16 ~hops) hops_list
+  in
+  let rel_rows =
+    List.map
+      (fun row ->
+        match row with
+        | name :: cells ->
+          name
+          :: List.map2
+               (fun cell best -> Printf.sprintf "%.2fx" (float_of_string cell /. best))
+               cells best
+        | [] -> [])
+      rows
+  in
+  print_table
+    ~title:"Figure 13: FS-like k-hop latency under reduced hardware (ms)"
+    ~headers:[ "Hardware"; "2-hop"; "3-hop"; "4-hop" ]
+    rows;
+  print_table
+    ~title:"Figure 13 (relative to 200 Gbps x 16 cores)"
+    ~headers:[ "Hardware"; "2-hop"; "3-hop"; "4-hop" ]
+    rel_rows

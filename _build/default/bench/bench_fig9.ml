@@ -1,0 +1,67 @@
+(* Figure 9: vertical and horizontal scalability of the k-hop query.
+
+   GraphDance vs the Banyan-like and GAIA-like dataflow engines and the
+   BSP engine on the LJ-like and FS-like graphs. Vertical: worker threads
+   on one node. Horizontal: nodes at a fixed per-node thread count.
+   Expected shapes from the paper: GraphDance scales near-linearly; the
+   dataflow engines flatten (per-operator scheduling overhead grows with
+   workers; GAIA additionally centralizes aggregation); Banyan can beat
+   GraphDance at very low thread counts on deep queries; BSP is strongest
+   on the largest queries where barriers amortize. *)
+
+open Harness
+
+let systems =
+  [
+    ("GraphDance", fun config graph subs -> run_graphdance ~config graph subs);
+    ("Banyan-like", fun config graph subs -> run_flavor Pstm_engine.Async_engine.Banyan_like ~config graph subs);
+    ("GAIA-like", fun config graph subs -> run_flavor Pstm_engine.Async_engine.Gaia_like ~config graph subs);
+    ("BSP", fun config graph subs -> run_bsp ~config graph subs);
+  ]
+
+let datasets =
+  [ ("LJ-like", Pstm_gen.Datasets.lj_like); ("FS-like", Pstm_gen.Datasets.fs_like) ]
+
+let hops_list = [ 2; 4 ]
+
+let sweep ~title ~configs =
+  List.iter
+    (fun (dname, preset) ->
+      let graph = Pstm_gen.Datasets.load preset in
+      let starts = khop_starts graph ~seed:31 ~n:1 in
+      List.iter
+        (fun hops ->
+          let rows =
+            List.map
+              (fun (cname, config) ->
+                cname
+                :: List.map
+                     (fun (_, run) ->
+                       ms (khop_latency ~run:(run config) graph ~hops ~starts))
+                     systems)
+              configs
+          in
+          print_table
+            ~title:(Printf.sprintf "%s — %s %d-hop latency (ms)" title dname hops)
+            ~headers:("Config" :: List.map fst systems)
+            rows)
+        hops_list)
+    datasets
+
+let vertical () =
+  sweep ~title:"Figure 9 (vertical: threads on one node)"
+    ~configs:
+      (List.map
+         (fun w -> (Printf.sprintf "%d threads" w, cluster ~nodes:1 ~workers:w))
+         [ 1; 4; 16; 32 ])
+
+let horizontal () =
+  sweep ~title:"Figure 9 (horizontal: nodes x 16 threads)"
+    ~configs:
+      (List.map
+         (fun n -> (Printf.sprintf "%d nodes" n, cluster ~nodes:n ~workers:16))
+         [ 1; 2; 4; 8 ])
+
+let run () =
+  vertical ();
+  horizontal ()

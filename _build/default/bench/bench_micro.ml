@@ -1,0 +1,81 @@
+(* Wall-clock microbenchmarks (Bechamel) of the hot primitives underneath
+   the simulator's cost model: weight arithmetic, memo operations, top-k
+   accumulation, CSR adjacency scans and single-step execution. *)
+
+open Bechamel
+open Toolkit
+
+let weight_tests () =
+  let prng = Pstm_util.Prng.create 1 in
+  [
+    Test.make ~name:"weight-split2"
+      (Staged.stage (fun () -> ignore (Pstm_core.Weight.split2 prng Pstm_core.Weight.root)));
+    Test.make ~name:"weight-add"
+      (Staged.stage
+         (let w = ref Pstm_core.Weight.zero in
+          fun () -> w := Pstm_core.Weight.add !w Pstm_core.Weight.root));
+    Test.make ~name:"prng-next"
+      (Staged.stage (fun () -> ignore (Pstm_util.Prng.next_int64 prng)));
+  ]
+
+let memo_tests () =
+  let memo = Pstm_core.Memo.create () in
+  let prng = Pstm_util.Prng.create 2 in
+  [
+    Test.make ~name:"memo-dedup-probe"
+      (Staged.stage (fun () ->
+           ignore
+             (Pstm_core.Memo.add_if_absent memo ~qid:0 ~label:1
+                (Value.Int (Pstm_util.Prng.int prng 100_000)))));
+    Test.make ~name:"memo-min-dist"
+      (Staged.stage (fun () ->
+           ignore
+             (Pstm_core.Memo.min_int_update memo ~qid:0 ~label:2
+                (Value.Vertex (Pstm_util.Prng.int prng 100_000))
+                (Pstm_util.Prng.int prng 8))));
+  ]
+
+let structure_tests () =
+  let prng = Pstm_util.Prng.create 3 in
+  let topk =
+    Pstm_util.Topk.create ~k:10
+      ~cmp:(fun (a, _) (b, _) -> compare (a : int) b)
+      ~dummy:(0, 0)
+  in
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.lj_like in
+  let n = Graph.n_vertices graph in
+  [
+    Test.make ~name:"topk-add"
+      (Staged.stage (fun () ->
+           Pstm_util.Topk.add topk (Pstm_util.Prng.int prng 1_000_000, Pstm_util.Prng.int prng n)));
+    Test.make ~name:"csr-expand-scan"
+      (Staged.stage (fun () ->
+           let v = Pstm_util.Prng.int prng n in
+           let acc = ref 0 in
+           Graph.iter_adjacent graph ~dir:Graph.Out v (fun ~target ~edge_id:_ ~label:_ ->
+               acc := !acc + target);
+           ignore !acc));
+    Test.make ~name:"value-compare"
+      (Staged.stage (fun () ->
+           ignore (Value.compare (Value.Int (Pstm_util.Prng.int prng 100)) (Value.Int 50))));
+  ]
+
+let run () =
+  Printf.printf "\n== Microbenchmarks (wall clock, Bechamel OLS ns/op) ==\n";
+  let tests = weight_tests () @ memo_tests () @ structure_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "  %-20s %10.1f ns/op\n" name ns
+          | _ -> Printf.printf "  %-20s (no estimate)\n" name)
+        stats)
+    tests

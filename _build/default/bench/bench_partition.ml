@@ -1,0 +1,42 @@
+(* Partition-strategy ablation (design decision 2 of DESIGN.md).
+
+   The paper's H is a hash partitioner; this ablation contrasts it with
+   modulo and block (range) partitioning on the k-hop workload. Block
+   partitioning concentrates BFS frontiers (and the generators' low-id
+   hubs) on few workers, so the straggler ratio — busiest worker over
+   mean — degrades, and latency with it. *)
+
+open Pstm_engine
+open Harness
+
+let strategies =
+  [ ("hash", Partition.Hash); ("modulo", Partition.Mod); ("block/range", Partition.Block) ]
+
+let run () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.lj_like in
+  let start = (khop_starts graph ~seed:77 ~n:1).(0) in
+  let rows =
+    List.concat_map
+      (fun hops ->
+        List.map
+          (fun (name, strategy) ->
+            let options = { Async_engine.default_options with Async_engine.partition = strategy } in
+            let report =
+              run_graphdance ~options graph [| Engine.submit (khop_program graph ~start ~hops) |]
+            in
+            let busy = report.Engine.worker_busy in
+            let total = Array.fold_left ( + ) 0 busy in
+            let mean = fi total /. fi (Array.length busy) in
+            let straggler = fi (Array.fold_left max 0 busy) /. Float.max mean 1.0 in
+            [
+              Printf.sprintf "%d-hop %s" hops name;
+              ms (Engine.mean_latency_ms report);
+              Printf.sprintf "%.2fx" straggler;
+            ])
+          strategies)
+      [ 2; 4 ]
+  in
+  print_table
+    ~title:"Partition-strategy ablation: LJ-like k-hop under different H"
+    ~headers:[ "Config"; "Latency (ms)"; "Straggler (max/mean busy)" ]
+    rows

@@ -1,0 +1,102 @@
+(* Shared benchmark plumbing: table printing, engine runners and the
+   Figure 1 k-hop query builder used throughout §V-B and §V-C. *)
+
+open Pstm_engine
+open Pstm_query
+
+(* --- Plain-text table printer --- *)
+
+let print_table ~title ~headers rows =
+  let all = headers :: rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) headers)
+      all
+  in
+  let line c =
+    print_string "+";
+    List.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let print_row row =
+    print_string "|";
+    List.iter2 (fun w cell -> Printf.printf " %-*s |" w cell) widths row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" title;
+  line '-';
+  print_row headers;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let ms v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" v
+let fi = float_of_int
+
+(* --- Cluster configurations --- *)
+
+(* The paper's testbed: 8 nodes, many cores, 200 Gbps. *)
+let paper_cluster = { Cluster.default_config with Cluster.n_nodes = 8; workers_per_node = 16 }
+
+let cluster ~nodes ~workers =
+  { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+
+(* --- Engine runners (uniform closures over submissions) --- *)
+
+let run_graphdance ?(options = Async_engine.default_options)
+    ?(channel = Channel.default_config) ?(config = paper_cluster) graph subs =
+  Async_engine.run ~options ~cluster_config:config ~channel_config:channel ~graph subs
+
+let run_bsp ?profile ?(config = paper_cluster) graph subs =
+  Bsp_engine.run ?profile ~cluster_config:config ~graph subs
+
+let run_flavor flavor ?(config = paper_cluster) graph subs =
+  Async_engine.run
+    ~options:{ Async_engine.default_options with Async_engine.flavor }
+    ~cluster_config:config ~channel_config:Channel.default_config ~graph subs
+
+let run_non_partitioned ?(config = paper_cluster) graph subs =
+  Async_engine.run
+    ~options:{ Async_engine.default_options with Async_engine.shared_state = true }
+    ~cluster_config:config ~channel_config:Channel.default_config ~graph subs
+
+(* --- The Figure 1 k-hop query on a weighted dataset graph --- *)
+
+let khop_program graph ~start ~hops =
+  Compile.compile ~name:(Printf.sprintf "%d-hop" hops) graph
+    Dsl.(
+      v_lookup ~key:"id" (int start)
+      |> repeat_out "link" ~times:hops
+      |> has "id" (ne (int start))
+      |> top_k "weight" 10
+      |> build)
+
+(* Deterministic start vertices, as the paper samples start vertices;
+   isolated vertices are skipped (their k-hop query is empty). *)
+let khop_starts graph ~seed ~n =
+  let prng = Pstm_util.Prng.create seed in
+  Array.init n (fun _ ->
+      let rec pick () =
+        let v = Pstm_util.Prng.int prng (Graph.n_vertices graph) in
+        if Graph.out_degree graph v > 0 then v else pick ()
+      in
+      pick ())
+
+(* Mean latency of the k-hop query over [starts] on a given runner. *)
+let khop_latency ~run graph ~hops ~starts =
+  let samples =
+    Array.map
+      (fun start ->
+        let report = run graph [| Engine.submit (khop_program graph ~start ~hops) |] in
+        Engine.latency_ms report.Engine.queries.(0))
+      starts
+  in
+  Pstm_util.Stats.mean samples
+
+(* Run once and hand back the full report (for metrics-based figures). *)
+let khop_report ~run graph ~hops ~start =
+  run graph [| Engine.submit (khop_program graph ~start ~hops) |]
+
+let section name = Printf.printf "\n######## %s ########\n" name

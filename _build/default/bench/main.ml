@@ -1,0 +1,55 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation section
+   on the simulated cluster. With no argument, runs everything in paper
+   order; with an argument, runs one experiment:
+
+     table1 table2 fig7 fig8 fig8l fig8sn fig9 fig10 fig11 fig12 fig13 plan micro
+
+   All latencies are simulated milliseconds on the 8-node cluster model;
+   see DESIGN.md for the hardware substitution rationale and
+   EXPERIMENTS.md for measured-vs-paper comparisons. *)
+
+let experiments =
+  [
+    ("table1", "Table I: workload-class characteristics", Bench_tables.table1);
+    ("table2", "Table II: dataset summaries", Bench_tables.table2);
+    ("fig7", "Figure 7: mixed LDBC SNB workload", Bench_fig7.run);
+    ( "fig8",
+      "Figure 8: individual IC queries (SNB-S)",
+      fun () -> Bench_fig8.run_scale Pstm_ldbc.Snb_gen.snb_s );
+    ( "fig8l",
+      "Figure 8: individual IC queries (SNB-L)",
+      fun () -> Bench_fig8.run_scale Pstm_ldbc.Snb_gen.snb_l );
+    ("fig8sn", "Section V-A3: single-node comparison", Bench_fig8.run_single_node);
+    ("fig9", "Figure 9: scalability", Bench_fig9.run);
+    ("fig10", "Figures 10-11: weight coalescing", Bench_breakdown.weight_coalescing);
+    ("fig12", "Figure 12: two-tier I/O scheduler", Bench_breakdown.io_scheduler);
+    ("fig13", "Figure 13: hardware impact", Bench_fig13.run);
+    ("plan", "Figure 3 ablation: join plans", Bench_plan.run);
+    ("partition", "Ablation: partition strategies", Bench_partition.run);
+    ("micro", "Microbenchmarks", Bench_micro.run);
+  ]
+
+let aliases = [ ("fig11", "fig10") ]
+
+let run_one name =
+  let name = Option.value ~default:name (List.assoc_opt name aliases) in
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, title, f) ->
+    Harness.section title;
+    let t0 = Sys.time () in
+    f ();
+    Printf.printf "  [%s done in %.1fs cpu]\n%!" name (Sys.time () -. t0)
+  | None ->
+    Printf.eprintf "unknown experiment %S; available: %s\n" name
+      (String.concat " " (List.map (fun (n, _, _) -> n) experiments @ List.map fst aliases));
+    exit 1
+
+let () =
+  print_endline "GraphDance / PSTM benchmark harness";
+  print_endline "(all latencies are simulated time on the modeled 8-node cluster)";
+  match Array.to_list Sys.argv with
+  | _ :: [] -> List.iter (fun (n, _, _) -> run_one n) experiments
+  | _ :: names -> List.iter run_one names
+  | [] -> ()

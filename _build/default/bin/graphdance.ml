@@ -1,0 +1,176 @@
+(* graphdance — command-line front end.
+
+   Subcommands:
+     datasets                 list the built-in datasets and their sizes
+     query    -d DS -q "..."  run a Gremlin query on a dataset
+     explain  -d DS -q "..."  show the optimized plan without running it
+     ldbc     -d snb-s        run one pass of the LDBC IC/IS queries
+
+   Queries run on the simulated cluster; reported latency is simulated
+   time on the modeled hardware (see DESIGN.md). *)
+
+open Cmdliner
+open Pstm_engine
+open Pstm_query
+
+let dataset_presets =
+  [
+    ("tiny", `Rmat Pstm_gen.Datasets.tiny);
+    ("lj-like", `Rmat Pstm_gen.Datasets.lj_like);
+    ("fs-like", `Rmat Pstm_gen.Datasets.fs_like);
+    ("snb-tiny", `Snb Pstm_ldbc.Snb_gen.snb_tiny);
+    ("snb-s", `Snb Pstm_ldbc.Snb_gen.snb_s);
+    ("snb-l", `Snb Pstm_ldbc.Snb_gen.snb_l);
+  ]
+
+let load_graph name =
+  match List.assoc_opt name dataset_presets with
+  | Some (`Rmat preset) -> Ok (Pstm_gen.Datasets.load preset)
+  | Some (`Snb scale) -> Ok (Pstm_ldbc.Snb_gen.load scale).Pstm_ldbc.Snb_gen.graph
+  | None ->
+    Error
+      (Fmt.str "unknown dataset %S (available: %s)" name
+         (String.concat ", " (List.map fst dataset_presets)))
+
+(* --- Arguments --- *)
+
+let dataset_arg =
+  let doc = "Dataset to run against (tiny, lj-like, fs-like, snb-tiny, snb-s, snb-l)." in
+  Arg.(value & opt string "snb-tiny" & info [ "d"; "dataset" ] ~docv:"DATASET" ~doc)
+
+let query_arg =
+  let doc = "Gremlin query text, e.g. \"g.V().has('id', 3).out('knows').count()\"." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let engine_arg =
+  let doc = "Execution engine: async (GraphDance), bsp, or local (reference)." in
+  Arg.(value & opt (enum [ ("async", `Async); ("bsp", `Bsp); ("local", `Local) ]) `Async
+       & info [ "e"; "engine" ] ~doc)
+
+let nodes_arg =
+  let doc = "Simulated cluster nodes." in
+  Arg.(value & opt int 8 & info [ "nodes" ] ~doc)
+
+let workers_arg =
+  let doc = "Worker threads per node (one graph partition each)." in
+  Arg.(value & opt int 16 & info [ "workers" ] ~doc)
+
+(* --- Commands --- *)
+
+let datasets_cmd =
+  let run () =
+    Fmt.pr "%-10s %12s %12s %10s  %s@." "name" "vertices" "edges" "size" "stands in for";
+    List.iter
+      (fun (name, kind) ->
+        let paper, graph =
+          match kind with
+          | `Rmat preset ->
+            (preset.Pstm_gen.Datasets.paper_name, Pstm_gen.Datasets.load preset)
+          | `Snb scale ->
+            ( scale.Pstm_ldbc.Snb_gen.paper_name,
+              (Pstm_ldbc.Snb_gen.load scale).Pstm_ldbc.Snb_gen.graph )
+        in
+        Fmt.pr "%-10s %12d %12d %8.1fMB  %s@." name (Graph.n_vertices graph)
+          (Graph.n_edges graph)
+          (float_of_int (Graph.bytes graph) /. 1e6)
+          paper)
+      dataset_presets
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List built-in datasets")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let compile_query graph text =
+  match Parser.parse text with
+  | Error message -> Error ("parse error: " ^ message)
+  | Ok ast -> begin
+    match Compile.compile ~name:"cli" graph ast with
+    | program -> Ok program
+    | exception Compile.Error message -> Error ("compile error: " ^ message)
+  end
+
+let run_query dataset text engine nodes workers =
+  let ( let* ) = Result.bind in
+  let* graph = load_graph dataset in
+  let* program = compile_query graph text in
+  let config = { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers } in
+  let rows, latency =
+    match engine with
+    | `Local -> (Local_engine.run graph program, None)
+    | `Async ->
+      let report =
+        Async_engine.run ~cluster_config:config ~channel_config:Channel.default_config ~graph
+          [| Engine.submit program |]
+      in
+      (report.Engine.queries.(0).Engine.rows, Engine.latency report.Engine.queries.(0))
+    | `Bsp ->
+      let report = Bsp_engine.run ~cluster_config:config ~graph [| Engine.submit program |] in
+      (report.Engine.queries.(0).Engine.rows, Engine.latency report.Engine.queries.(0))
+  in
+  List.iter (fun row -> Fmt.pr "%a@." (Fmt.array ~sep:(Fmt.any " | ") Value.pp) row) rows;
+  Fmt.pr "-- %d row(s)%a@." (List.length rows)
+    (fun ppf -> function
+      | None -> ()
+      | Some l -> Fmt.pf ppf "; simulated latency %a" Sim_time.pp l)
+    latency;
+  Ok ()
+
+let to_exit = function
+  | Ok () -> 0
+  | Error message ->
+    Fmt.epr "graphdance: %s@." message;
+    1
+
+let query_cmd =
+  let run dataset text engine nodes workers =
+    to_exit (run_query dataset text engine nodes workers)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a Gremlin query on a simulated cluster")
+    Term.(const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg)
+
+let explain_cmd =
+  let run dataset text =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* graph = load_graph dataset in
+       let* program = compile_query graph text in
+       Fmt.pr "%a@." Program.pp program;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the optimized PSTM plan for a query")
+    Term.(const run $ dataset_arg $ query_arg)
+
+let ldbc_cmd =
+  let run dataset nodes workers =
+    to_exit
+      (match List.assoc_opt dataset dataset_presets with
+      | Some (`Snb scale) ->
+        let data = Pstm_ldbc.Snb_gen.load scale in
+        let config =
+          { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+        in
+        let prng = Prng.create 7 in
+        List.iter
+          (fun (name, make) ->
+            let program = make data prng in
+            let report =
+              Async_engine.run ~cluster_config:config ~channel_config:Channel.default_config
+                ~graph:data.Pstm_ldbc.Snb_gen.graph
+                [| Engine.submit program |]
+            in
+            Fmt.pr "%-5s %a@." name Engine.pp_query report.Engine.queries.(0))
+          (Pstm_ldbc.Ic_queries.all @ Pstm_ldbc.Is_queries.all);
+        Ok ()
+      | _ -> Error "ldbc requires an SNB dataset (snb-tiny, snb-s, snb-l)")
+  in
+  Cmd.v
+    (Cmd.info "ldbc" ~doc:"Run one pass of the LDBC IC and IS queries")
+    Term.(const run $ dataset_arg $ nodes_arg $ workers_arg)
+
+let () =
+  let info =
+    Cmd.info "graphdance" ~version:"1.0.0"
+      ~doc:"Distributed asynchronous graph queries on partitioned stateful traversal machines"
+  in
+  exit (Cmd.eval' (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; ldbc_cmd ]))

@@ -1,0 +1,1 @@
+examples/fraud_rings.ml: Array Async_engine Builder Channel Cluster Compile Dsl Engine Fmt Graph List Prng Pstm_engine Pstm_query Value

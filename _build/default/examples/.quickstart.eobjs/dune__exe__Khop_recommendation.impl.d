@@ -1,0 +1,1 @@
+examples/khop_recommendation.ml: Array Async_engine Bsp_engine Channel Cluster Compile Dsl Engine Fmt Graph List Pstm_engine Pstm_ldbc Pstm_query Snb_gen Snb_schema Value

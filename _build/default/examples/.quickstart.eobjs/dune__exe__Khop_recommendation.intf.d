@@ -1,0 +1,1 @@
+examples/khop_recommendation.mli:

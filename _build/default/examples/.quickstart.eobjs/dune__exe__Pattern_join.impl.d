@@ -1,0 +1,1 @@
+examples/pattern_join.ml: Array Ast Async_engine Channel Cluster Compile Dsl Engine Fmt List Metrics Planner Pstm_engine Pstm_ldbc Pstm_query Snb_gen Snb_schema

@@ -1,0 +1,1 @@
+examples/pattern_join.mli:

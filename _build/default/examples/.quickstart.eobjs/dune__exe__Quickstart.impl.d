@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Async_engine Builder Channel Cluster Compile Dsl Engine Fmt Graph Local_engine Metrics Parser Program Pstm_engine Pstm_query Sim_time Value

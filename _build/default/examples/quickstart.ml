@@ -1,0 +1,76 @@
+(* Quickstart: build a property graph, write a query three ways (DSL,
+   Gremlin text, raw step ISA), and run it on the reference interpreter
+   and on a simulated GraphDance cluster.
+
+     dune exec examples/quickstart.exe *)
+
+open Pstm_engine
+open Pstm_query
+
+let () =
+  (* 1. Build a small property graph: people who follow each other. *)
+  let b = Builder.create () in
+  let people = [| "ada"; "bob"; "cyd"; "dee"; "eli"; "fay" |] in
+  let ids =
+    Array.mapi
+      (fun i name ->
+        Builder.add_vertex b ~label:"Person"
+          ~props:[ ("name", Value.Str name); ("id", Value.Int i); ("karma", Value.Int (10 * (i + 1))) ]
+          ())
+      people
+  in
+  let follow src dst = ignore (Builder.add_edge b ~src:ids.(src) ~label:"follows" ~dst:ids.(dst) ()) in
+  follow 0 1;
+  follow 0 2;
+  follow 1 3;
+  follow 2 3;
+  follow 3 4;
+  follow 4 5;
+  follow 5 0;
+  let graph = Builder.build b in
+  Fmt.pr "graph: %d vertices, %d edges@." (Graph.n_vertices graph) (Graph.n_edges graph);
+
+  (* 2a. A query through the combinator DSL: who is within 2 follow hops
+     of ada, ranked by karma? *)
+  let ast =
+    Dsl.(
+      v_lookup ~label:"Person" ~key:"name" (str "ada")
+      |> as_ "me"
+      |> repeat_out "follows" ~times:2
+      |> where_neq "me"
+      |> top_k "karma" 3
+      |> build)
+  in
+  let program = Compile.compile ~name:"influencers" graph ast in
+  Fmt.pr "@.compiled plan:@.%a@." Program.pp program;
+
+  (* 2b. The same query as Gremlin text through the parser. *)
+  let parsed =
+    Parser.parse_exn
+      "g.V().hasLabel('Person').has('name', 'ada').as('me')\n\
+      \ .repeat(out('follows')).times(2).where(neq('me'))\n\
+      \ .order().by('karma', desc).limit(3)"
+  in
+  let program' = Compile.compile ~name:"influencers-text" graph parsed in
+  ignore program';
+
+  (* 3. Run on the reference interpreter. *)
+  let rows = Local_engine.run graph program in
+  Fmt.pr "reference result: %a@." (Fmt.list (Fmt.array Value.pp)) rows;
+
+  (* 4. Run on a simulated 4-node GraphDance cluster and report the
+     simulated latency. *)
+  let report =
+    Async_engine.run
+      ~cluster_config:{ Cluster.default_config with Cluster.n_nodes = 4; workers_per_node = 4 }
+      ~channel_config:Channel.default_config ~graph
+      [| Engine.submit program |]
+  in
+  let q = report.Engine.queries.(0) in
+  Fmt.pr "cluster result:   %a@." (Fmt.list (Fmt.array Value.pp)) q.Engine.rows;
+  (match Engine.latency q with
+  | Some l -> Fmt.pr "simulated latency on 4 nodes: %a@." Sim_time.pp l
+  | None -> assert false);
+  Fmt.pr "messages: %d traverser, %d progress-tracking@."
+    (Metrics.messages report.Engine.metrics Metrics.Traverser_msg)
+    (Metrics.messages report.Engine.metrics Metrics.Progress_msg)

@@ -1,0 +1,1 @@
+lib/core/memo.ml: Aggregate Hashtbl Value

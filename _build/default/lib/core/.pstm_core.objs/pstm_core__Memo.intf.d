@@ -1,0 +1,1 @@
+lib/core/memo.mli: Aggregate Step Value

@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Fmt Hashtbl Int List Option Queue Step

@@ -1,0 +1,1 @@
+lib/core/progress.ml: Hashtbl List Option Weight

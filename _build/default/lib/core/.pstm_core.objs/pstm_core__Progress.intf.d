@@ -1,0 +1,1 @@
+lib/core/progress.mli: Weight

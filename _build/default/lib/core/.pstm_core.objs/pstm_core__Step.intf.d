@@ -1,0 +1,1 @@
+lib/core/step.mli: Format Graph Value

@@ -1,0 +1,1 @@
+lib/core/traverser.ml: Array Fmt List Value Weight

@@ -1,0 +1,1 @@
+lib/core/traverser.mli: Format Value Weight

@@ -1,0 +1,1 @@
+lib/core/weight.ml: Array Fmt Int Int64 Prng

@@ -1,0 +1,24 @@
+(** Partitionable partial-aggregate state (§III-C).
+
+    Lifecycle: each worker {!create}s a partial in its memo, {!accumulate}s
+    local traversers into it, and on subquery termination the coordinator
+    {!merge}s all partials and {!finalize}s the combined value. *)
+
+type t
+
+val create : Step.agg -> t
+
+(** Fold one traverser (evaluating the aggregation's expressions in its
+    context) into the partial state. *)
+val accumulate : Step.agg -> t -> Graph.t -> vertex:int -> regs:Value.t array -> unit
+
+(** Combine [t] into [into]; commutative and associative. *)
+val merge : into:t -> t -> unit
+
+(** The aggregated value: [Int] for counts, [List] for top-k / collect /
+    group results (group entries are [List [key; Int count]] sorted by
+    key). *)
+val finalize : t -> Value.t
+
+(** Serialized size of the partial, for network accounting. *)
+val bytes : t -> int

@@ -1,0 +1,72 @@
+(* Distributed progress tracking (§IV-A).
+
+   Two halves: the per-phase [tracker] living on the query coordinator,
+   which accumulates finished weights and fires exactly when they sum back
+   to the root weight; and the per-worker [coalescer], which implements
+   weight coalescing — finished weights are merged locally (one integer
+   addition each) and shipped to the tracker only when the worker flushes
+   its message buffers, slashing the tracker's message load (Figure 11). *)
+
+type tracker = {
+  target : Weight.t;
+  mutable acc : Weight.t;
+  mutable receipts : int;
+  mutable complete : bool;
+}
+
+let tracker ~target = { target; acc = Weight.zero; receipts = 0; complete = false }
+
+type receipt =
+  | Complete
+  | Pending
+
+(* Accumulate one (possibly coalesced) finished weight. Returns [Complete]
+   exactly once, on the receipt that closes the phase. *)
+let receive t w =
+  if t.complete then Pending
+  else begin
+    t.acc <- Weight.add t.acc w;
+    t.receipts <- t.receipts + 1;
+    if Weight.equal t.acc t.target then begin
+      t.complete <- true;
+      Complete
+    end
+    else Pending
+  end
+
+let is_complete t = t.complete
+let receipts t = t.receipts
+
+(* --- Worker-local weight coalescing --- *)
+
+type coalescer = {
+  pending : (int * int, Weight.t) Hashtbl.t; (* (query, phase) -> merged weight *)
+  mutable additions : int; (* total weight additions performed locally *)
+  mutable pending_adds : int; (* additions since the last drain *)
+}
+
+let coalescer () = { pending = Hashtbl.create 8; additions = 0; pending_adds = 0 }
+
+let coalesce c ~qid ~phase w =
+  c.additions <- c.additions + 1;
+  c.pending_adds <- c.pending_adds + 1;
+  let key = (qid, phase) in
+  let acc = Option.value ~default:Weight.zero (Hashtbl.find_opt c.pending key) in
+  Hashtbl.replace c.pending key (Weight.add acc w)
+
+let is_empty c = Hashtbl.length c.pending = 0
+
+(* How many finished weights are merged but not yet shipped; workers flush
+   when idle or when this passes their batching threshold, mirroring the
+   "ship with the next buffer flush" rule of §IV-A. *)
+let pending_additions c = c.pending_adds
+
+(* Remove and return all merged weights, ready to be sent to trackers. *)
+let drain c =
+  let out = Hashtbl.fold (fun (qid, phase) w acc -> (qid, phase, w) :: acc) c.pending [] in
+  Hashtbl.reset c.pending;
+  c.pending_adds <- 0;
+  (* Deterministic shipping order. *)
+  List.sort compare out
+
+let additions c = c.additions

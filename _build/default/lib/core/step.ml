@@ -1,0 +1,180 @@
+(* The PSTM step ISA.
+
+   A compiled traversal program is an array of steps; each traverser
+   carries the index of the step it is about to execute (its psi in the
+   paper's formalization) plus a register file holding its local variables
+   (pi). The ISA is deliberately small: the Gremlin-level surface language
+   (lib/query) compiles Has/Out/Values/Order/... down to these ops.
+
+   Control flow is explicit: every step names its successor(s) by index, so
+   loops (multi-hop traversals through [Visit]) and joins need no special
+   interpreter machinery. *)
+
+(* --- Expressions over a traverser's context --- *)
+
+type expr =
+  | Const of Value.t
+  | Reg of int (* local variable *)
+  | Vertex_id (* the traverser's current vertex, as Value.Vertex *)
+  | Vertex_label (* label id of the current vertex, as Value.Int *)
+  | Prop of int (* property of the current vertex *)
+  | Prop_of of { reg : int; key : int } (* property of a vertex held in a register *)
+  | Add of expr * expr
+  | Pair of expr * expr (* 2-element list; composite keys *)
+
+type cmp =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type pred =
+  | True
+  | Cmp of cmp * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let rec eval_expr graph ~vertex ~regs = function
+  | Const v -> v
+  | Reg r -> regs.(r)
+  | Vertex_id -> Value.Vertex vertex
+  | Vertex_label -> Value.Int (Graph.vertex_label graph vertex)
+  | Prop key -> Graph.vertex_prop graph ~key vertex
+  | Prop_of { reg; key } -> Graph.vertex_prop graph ~key (Value.vertex_exn regs.(reg))
+  | Add (a, b) -> Value.add (eval_expr graph ~vertex ~regs a) (eval_expr graph ~vertex ~regs b)
+  | Pair (a, b) ->
+    Value.List [ eval_expr graph ~vertex ~regs a; eval_expr graph ~vertex ~regs b ]
+
+let eval_cmp cmp a b =
+  let c = Value.compare a b in
+  match cmp with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval_pred graph ~vertex ~regs = function
+  | True -> true
+  | Cmp (cmp, a, b) ->
+    eval_cmp cmp (eval_expr graph ~vertex ~regs a) (eval_expr graph ~vertex ~regs b)
+  | And (p, q) -> eval_pred graph ~vertex ~regs p && eval_pred graph ~vertex ~regs q
+  | Or (p, q) -> eval_pred graph ~vertex ~regs p || eval_pred graph ~vertex ~regs q
+  | Not p -> not (eval_pred graph ~vertex ~regs p)
+
+(* Number of property-column reads an expression performs; the simulator
+   charges CPU time per read. *)
+let rec expr_prop_reads = function
+  | Const _ | Reg _ | Vertex_id | Vertex_label -> 0
+  | Prop _ | Prop_of _ -> 1
+  | Add (a, b) | Pair (a, b) -> expr_prop_reads a + expr_prop_reads b
+
+let rec pred_prop_reads = function
+  | True -> 0
+  | Cmp (_, a, b) -> expr_prop_reads a + expr_prop_reads b
+  | And (p, q) | Or (p, q) -> pred_prop_reads p + pred_prop_reads q
+  | Not p -> pred_prop_reads p
+
+let rec max_reg_expr = function
+  | Const _ | Vertex_id | Vertex_label | Prop _ -> -1
+  | Reg r | Prop_of { reg = r; _ } -> r
+  | Add (a, b) | Pair (a, b) -> max (max_reg_expr a) (max_reg_expr b)
+
+let rec max_reg_pred = function
+  | True -> -1
+  | Cmp (_, a, b) -> max (max_reg_expr a) (max_reg_expr b)
+  | And (p, q) | Or (p, q) -> max (max_reg_pred p) (max_reg_pred q)
+  | Not p -> max_reg_pred p
+
+(* --- Aggregations (§III-C) --- *)
+
+type agg =
+  | Count
+  | Sum of expr
+  | Max of expr
+  | Min of expr
+  | Topk of { k : int; score : expr; output : expr } (* ties: smaller output wins *)
+  | Collect of { expr : expr; limit : int option }
+  | Group_count of expr
+
+let agg_prop_reads = function
+  | Count -> 0
+  | Sum e | Max e | Min e | Collect { expr = e; _ } | Group_count e -> expr_prop_reads e
+  | Topk { score; output; _ } -> expr_prop_reads score + expr_prop_reads output
+
+(* --- Steps --- *)
+
+type side =
+  | Side_a
+  | Side_b
+
+type op =
+  (* Sources: spawn the initial traversers of a query. *)
+  | Index_lookup of { vertex_label : int option; key : int; value : Value.t }
+  | Scan of { vertex_label : int option }
+  (* Movement: spawn one child per matching adjacent vertex. *)
+  | Expand of { dir : Graph.direction; edge_label : int option }
+  (* Per-traverser transforms. *)
+  | Filter of pred
+  | Set_reg of { reg : int; expr : expr }
+  (* Stateful partitioned operators, backed by the partition memo. *)
+  | Move_to of { reg : int }
+    (* jump to the vertex held in a register (Gremlin's select of a bound
+       vertex); the successor executes at that vertex's owner *)
+  | Dedup of { by : expr }
+  | Visit of { dist_reg : int; max_hops : int; cont : int; emit_improved : bool }
+    (* memo-assisted multi-hop visit (Fig. 5): on first visit, emit a
+       continuation traverser to [cont]; if the traversed distance improves
+       the recorded one and is below [max_hops], loop to [next] (Expand). *)
+  | Join of { join_id : int; side : side; key : expr; store : expr array; load_regs : int array; cont : int }
+    (* double-pipelined join: insert [store] under [key] on this side's
+       table, probe the other side's table, and for each match continue at
+       [cont] with the matched payload written into [load_regs]. *)
+  (* Phase boundary: fold traversers into a partitioned partial aggregate;
+     when the phase terminates, the combined value lands in [reg] of a
+     fresh continuation traverser starting at [next]. *)
+  | Aggregate of { agg : agg; reg : int }
+  (* Terminal: deliver a result row to the query coordinator. *)
+  | Emit of expr array
+
+type t = {
+  op : op;
+  next : int; (* successor step index; -1 when the op is terminal *)
+}
+
+let is_source = function Index_lookup _ | Scan _ -> true | _ -> false
+
+(* Where a traverser must execute this op: at the owner of its current
+   vertex (data locality) or at the owner of a computed key (the
+   partitionable-property routing h_psi of §III-A). *)
+type routing =
+  | By_vertex
+  | By_key of expr
+  | By_coordinator (* results and aggregation continuations *)
+
+let routing = function
+  | Dedup { by } -> By_key by
+  | Join { key; _ } -> By_key key
+  | Emit _ -> By_coordinator
+  | Index_lookup _ | Scan _ | Expand _ | Filter _ | Set_reg _ | Move_to _ | Visit _
+  | Aggregate _ ->
+    By_vertex
+
+let op_name = function
+  | Index_lookup _ -> "index_lookup"
+  | Scan _ -> "scan"
+  | Expand _ -> "expand"
+  | Filter _ -> "filter"
+  | Set_reg _ -> "set_reg"
+  | Move_to _ -> "move_to"
+  | Dedup _ -> "dedup"
+  | Visit _ -> "visit"
+  | Join _ -> "join"
+  | Aggregate _ -> "aggregate"
+  | Emit _ -> "emit"
+
+let pp ppf t = Fmt.pf ppf "%s -> %d" (op_name t.op) t.next

@@ -1,0 +1,35 @@
+(** Progression weights: elements of the finite abelian group Z/2^63.
+
+    Implements the paper's weight-throwing termination detection without
+    floating-point underflow (Theorem 1): splits are uniform random group
+    elements whose sum is exactly the parent weight, and the query has
+    terminated exactly when the finished weights accumulate back to
+    {!root}, up to a false-positive probability of at most (n-1)/2^63. *)
+
+type t = private int
+
+val zero : t
+
+(** Initial weight of a query's root traverser. *)
+val root : t
+
+(** The group operation (wrapping 63-bit addition). *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** Uniform random group element. *)
+val random : Prng.t -> t
+
+(** Split into two shares summing to the input. *)
+val split2 : Prng.t -> t -> t * t
+
+(** Split into [n] shares summing to the input; each share uniform. *)
+val split : Prng.t -> t -> n:int -> t array
+
+(** Serialized size of a weight in a progress message, in bytes. *)
+val bytes : int
+
+val pp : Format.formatter -> t -> unit

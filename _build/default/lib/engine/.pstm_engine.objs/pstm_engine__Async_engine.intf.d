@@ -1,0 +1,1 @@
+lib/engine/async_engine.mli: Channel Cluster Engine Graph Partition Sim_time

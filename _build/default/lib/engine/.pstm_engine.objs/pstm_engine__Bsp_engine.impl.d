@@ -1,0 +1,1 @@
+lib/engine/bsp_engine.ml: Aggregate Array Cluster Engine Exec Graph Lazy List Memo Metrics Netmodel Partition Prng Program Queue Seq Sim_time Step Traverser Value Vec Weight

@@ -1,0 +1,1 @@
+lib/engine/bsp_engine.mli: Cluster Engine Graph Sim_time

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Float Fmt List Metrics Option Program Sim_time Stats Value

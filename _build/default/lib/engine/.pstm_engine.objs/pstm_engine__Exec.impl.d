@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Aggregate Array Cluster Graph List Memo Program Sim_time Step Traverser Value Weight

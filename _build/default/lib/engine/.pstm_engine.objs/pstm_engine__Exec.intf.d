@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Cluster Graph Memo Prng Program Sim_time Traverser Value Weight

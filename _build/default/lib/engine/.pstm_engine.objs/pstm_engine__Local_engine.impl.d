@@ -1,0 +1,1 @@
+lib/engine/local_engine.ml: Aggregate Array Exec Graph List Memo Prng Program Queue Step Traverser Vec Weight

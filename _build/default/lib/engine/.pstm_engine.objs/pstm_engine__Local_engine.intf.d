@@ -1,0 +1,1 @@
+lib/engine/local_engine.mli: Graph Program Value

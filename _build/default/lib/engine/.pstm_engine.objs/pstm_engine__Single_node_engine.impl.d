@@ -1,0 +1,1 @@
+lib/engine/single_node_engine.ml: Async_engine Channel Cluster Engine Sim_time

@@ -1,0 +1,1 @@
+lib/engine/single_node_engine.mli: Cluster Engine Graph Sim_time

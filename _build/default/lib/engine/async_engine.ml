@@ -1,0 +1,552 @@
+(* The asynchronous PSTM runtime — GraphDance's execution engine (§IV).
+
+   One single-threaded worker per graph partition, each with its own memo
+   and weight coalescer. Traversers route to the worker that owns their
+   next step's partition key (the h_psi of §III-A), execute there through
+   the shared step interpreter, and spawn children asynchronously — no
+   global barriers. Termination per phase is detected by the weight
+   tracker on the query's coordinator worker; aggregation phases combine
+   per-partition partials on demand (§III-C).
+
+   The same runtime also hosts the paper's comparison systems, exactly the
+   way the paper itself implemented Banyan "on GraphDance's codebase":
+
+   - [Banyan_like]: per-operator instantiation in every worker, charged as
+     a scheduling overhead per quantum proportional to the number of live
+     operators (the cause of its limited scaling in Fig. 9), with no
+     per-traverser progress cost.
+   - [Gaia_like]: the same dataflow overhead plus centralized execution of
+     the stateful operators (dedup / join / aggregation run on worker 0),
+     GAIA's scalability ceiling in Fig. 9.
+   - [shared_state]: the non-partitioned graph model of Fig. 8 — memos are
+     shared per node, so every access pays a latch whose cost grows with
+     the number of contending workers, and data access loses locality.
+   - [weight_coalescing = false]: the Fig. 10/11 ablation — every finished
+     weight becomes its own message to the tracker. *)
+
+type flavor =
+  | Graphdance
+  | Banyan_like
+  | Gaia_like
+
+let flavor_name = function
+  | Graphdance -> "graphdance"
+  | Banyan_like -> "banyan-like"
+  | Gaia_like -> "gaia-like"
+
+type options = {
+  flavor : flavor;
+  weight_coalescing : bool;
+  shared_state : bool;
+  quantum : int; (* tasks per worker scheduling quantum *)
+  seed : int;
+  mem_capacity : int option; (* per-node memory, for the single-node study *)
+  swap_penalty : int; (* data-access multiplier when the graph exceeds memory *)
+  partition : Partition.strategy; (* the H of the partitioned graph model *)
+}
+
+let default_options =
+  {
+    flavor = Graphdance;
+    weight_coalescing = true;
+    shared_state = false;
+    quantum = 64;
+    seed = 0x5157;
+    mem_capacity = None;
+    swap_penalty = 40;
+    partition = Partition.Hash;
+  }
+
+type payload =
+  | P_trav of { qid : int; trav : Traverser.t }
+  | P_progress of { qid : int; phase : int; weight : Weight.t }
+  | P_agg_flush of { qid : int; agg_step : int }
+  | P_agg_partial of { qid : int; agg_step : int; partial : Aggregate.t option }
+  | P_cleanup of { qid : int }
+  | P_setup of { qid : int } (* dataflow flavors: instantiate operators *)
+  | P_setup_ack of { qid : int }
+
+let payload_bytes = function
+  | P_trav { trav; _ } -> 8 + Traverser.bytes trav
+  | P_progress _ -> 8 + Weight.bytes + 8
+  | P_agg_flush _ -> 16
+  | P_agg_partial { partial; _ } ->
+    16 + (match partial with None -> 0 | Some p -> Aggregate.bytes p)
+  | P_cleanup _ -> 8
+  | P_setup _ | P_setup_ack _ -> 16
+
+type query_state = {
+  qid : int;
+  program : Program.t;
+  coordinator : int;
+  submitted : Sim_time.t;
+  mutable completed : Sim_time.t option;
+  trackers : Progress.tracker array; (* one per phase *)
+  mutable combine_step : int; (* aggregate step being combined, or -1 *)
+  mutable combine_expected : int;
+  mutable combine_received : int;
+  mutable combine_acc : Aggregate.t option;
+  rows : Value.t array Vec.t;
+  mutable active : bool;
+  mutable setup_acks : int; (* dataflow deployment acks outstanding *)
+}
+
+type worker = {
+  id : int;
+  memo : Memo.t; (* private, or node-shared under [shared_state] *)
+  tasks : payload Queue.t;
+  coalescer : Progress.coalescer;
+  prng : Prng.t;
+  mutable busy_until : Sim_time.t;
+  mutable busy_total : Sim_time.t; (* accumulated CPU time *)
+  mutable awake : bool; (* a quantum event is scheduled *)
+  members : int array Lazy.t; (* owned vertices, for Scan sources *)
+}
+
+let run ?(options = default_options) ?deadline ~cluster_config ~channel_config ~graph
+    (submissions : Engine.submission array) =
+  let cluster = Cluster.create cluster_config in
+  let events = Cluster.events cluster in
+  let metrics = Cluster.metrics cluster in
+  let costs = Cluster.costs cluster in
+  let n_workers = Cluster.n_workers cluster in
+  let workers_per_node = cluster_config.Cluster.workers_per_node in
+  let partition =
+    Partition.create ~strategy:options.partition ~n_parts:n_workers
+      ~n_vertices:(Graph.n_vertices graph) ()
+  in
+  let seed_prng = Prng.create options.seed in
+  (* Node-shared memos for the non-partitioned ablation. *)
+  let node_memos = Array.init (Cluster.n_nodes cluster) (fun _ -> Memo.create ()) in
+  let workers =
+    Array.init n_workers (fun id ->
+        {
+          id;
+          memo =
+            (if options.shared_state then node_memos.(Cluster.node_of_worker cluster id)
+             else Memo.create ());
+          tasks = Queue.create ();
+          coalescer = Progress.coalescer ();
+          prng = Prng.split seed_prng;
+          busy_until = Sim_time.zero;
+          busy_total = Sim_time.zero;
+          awake = false;
+          members = lazy (Partition.members partition id);
+        })
+  in
+  let queries : (int, query_state) Hashtbl.t = Hashtbl.create 64 in
+  let query qid =
+    match Hashtbl.find_opt queries qid with
+    | Some q -> q
+    | None -> invalid_arg (Fmt.str "Async_engine: unknown query %d" qid)
+  in
+  (* Total live operator instances; the dataflow flavors pay a scheduling
+     tax proportional to this every quantum. *)
+  let active_op_count = ref 0 in
+  (* --- Cost model ----------------------------------------------------- *)
+  let swapping =
+    match options.mem_capacity with
+    | Some capacity -> Graph.bytes graph > capacity * Cluster.n_nodes cluster
+    | None -> false
+  in
+  (* Under the non-partitioned model every step touches node-shared
+     state: the graph storage latch plus query-state synchronization, with
+     contention growing in the number of workers per node (§V-A2). The
+     partitioned model pays none of this — each worker owns its data. *)
+  let shared_step_penalty =
+    if options.shared_state then
+      costs.Cluster.latch * (1 + ((workers_per_node - 1) / 5))
+    else Sim_time.zero
+  in
+  let memo_op_cost =
+    if options.shared_state then Sim_time.add costs.Cluster.memo_op costs.Cluster.latch
+    else costs.Cluster.memo_op
+  in
+  let exec_cost (o : Exec.outcome) =
+    let data =
+      (o.Exec.edges_scanned * costs.Cluster.per_edge)
+      + (o.Exec.prop_reads * costs.Cluster.per_property)
+    in
+    let data = if options.shared_state then data + (data / 2) else data in
+    let base =
+      costs.Cluster.step_dispatch + shared_step_penalty + data + (o.Exec.memo_ops * memo_op_cost)
+    in
+    (* Memory thrashing faults the whole access path, not just the data
+       columns (§V-A3: GraphScope on SF1000). *)
+    if swapping then base * options.swap_penalty else base
+  in
+  (* --- Channel and routing -------------------------------------------- *)
+  let channel_ref = ref None in
+  let channel () = Option.get !channel_ref in
+  let rec wake w =
+    if not w.awake then begin
+      w.awake <- true;
+      let time = max (Cluster.now cluster) w.busy_until in
+      Event_queue.schedule_at events ~time (fun () -> quantum w)
+    end
+  (* ---- Message / task processing ------------------------------------- *)
+  and deliver dst payload =
+    let w = workers.(dst) in
+    Queue.add payload w.tasks;
+    wake w
+  and send ~at ~src ~dst ~kind payload =
+    if src = dst then begin
+      (* Same worker: a plain queue push, no messaging machinery. The wake
+         is a no-op while the worker's own quantum is running, but matters
+         when the sender is the submission path or a network-thread
+         event acting on the worker's behalf. *)
+      Queue.add payload workers.(dst).tasks;
+      wake workers.(dst);
+      Sim_time.zero
+    end
+    else
+      Channel.send (channel ()) ~at ~src_worker:src ~dst_worker:dst ~kind
+        ~bytes:(payload_bytes payload) payload
+  (* Route a traverser about to execute [step_idx]. *)
+  and route q (trav : Traverser.t) =
+    let step = Program.step q.program trav.step in
+    let centralized =
+      match options.flavor, step.Step.op with
+      | Gaia_like, (Step.Dedup _ | Step.Visit _ | Step.Join _ | Step.Aggregate _) -> true
+      | _ -> false
+    in
+    if centralized then 0
+    else begin
+      match Step.routing step.Step.op with
+      | Step.By_coordinator -> q.coordinator
+      | Step.By_vertex -> Partition.owner partition trav.vertex
+      | Step.By_key e -> begin
+        match Step.eval_expr graph ~vertex:trav.vertex ~regs:trav.regs e with
+        | Value.Vertex v -> Partition.owner partition v
+        | v -> Value.hash v mod n_workers
+      end
+    end
+  and dispatch_trav ~at ~src q trav =
+    let dst = route q trav in
+    let step = Program.step q.program trav.step in
+    let kind =
+      match step.Step.op with
+      | Step.Emit _ -> Metrics.Result_msg
+      | _ -> Metrics.Traverser_msg
+    in
+    send ~at ~src ~dst ~kind (P_trav { qid = q.qid; trav })
+  (* ---- Progress tracking ---------------------------------------------- *)
+  and tracker_receive ~at w q phase weight =
+    Metrics.count_tracker_update metrics;
+    match Progress.receive q.trackers.(phase) weight with
+    | Progress.Complete -> Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
+    | Progress.Pending -> costs.Cluster.progress_add
+  and finish_weight ~at w q phase weight =
+    if Weight.is_zero weight then Sim_time.zero
+    else begin
+      let coalescing = options.weight_coalescing || options.flavor <> Graphdance in
+      if coalescing then begin
+        Progress.coalesce w.coalescer ~qid:q.qid ~phase weight;
+        (* The "slightly higher per-traverser progress tracking overhead"
+           of §V-B: the weight addition plus the local hash merge. The
+           dataflow flavors track progress per operator scope instead and
+           pay nothing per traverser. *)
+        if options.flavor = Graphdance then
+          Sim_time.add costs.Cluster.progress_add costs.Cluster.progress_coalesce
+        else Sim_time.zero
+      end
+      else if q.coordinator = w.id then tracker_receive ~at w q phase weight
+      else
+        send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Progress_msg
+          (P_progress { qid = q.qid; phase; weight })
+    end
+  and flush_progress ~at w =
+    if Progress.is_empty w.coalescer then Sim_time.zero
+    else begin
+      let cost = ref Sim_time.zero in
+      List.iter
+        (fun (qid, phase, weight) ->
+          match Hashtbl.find_opt queries qid with
+          | None -> ()
+          | Some q ->
+            if q.coordinator = w.id then cost := Sim_time.add !cost (tracker_receive ~at w q phase weight)
+            else
+              cost :=
+                Sim_time.add !cost
+                  (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Progress_msg
+                     (P_progress { qid; phase; weight })))
+        (Progress.drain w.coalescer);
+      !cost
+    end
+  (* ---- Phase transitions ----------------------------------------------- *)
+  and phase_complete ~at w q phase =
+    match Program.agg_of_phase q.program phase with
+    | Some agg_step ->
+      (* Pull the per-partition partials in (§III-C). Under the shared
+         (non-partitioned) model one worker per node answers for the
+         node-wide memo. *)
+      q.combine_step <- agg_step;
+      q.combine_received <- 0;
+      q.combine_acc <- None;
+      let responders =
+        if options.shared_state then
+          Array.init (Cluster.n_nodes cluster) (fun node -> node * workers_per_node)
+        else Array.init n_workers Fun.id
+      in
+      q.combine_expected <- Array.length responders;
+      let cost = ref Sim_time.zero in
+      Array.iter
+        (fun dst ->
+          cost :=
+            Sim_time.add !cost
+              (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg
+                 (P_agg_flush { qid = q.qid; agg_step })))
+        responders;
+      !cost
+    | None -> complete_query ~at w q
+  and complete_query ~at w q =
+    q.completed <- Some (max at (Cluster.now cluster));
+    q.active <- false;
+    active_op_count := !active_op_count - Program.n_steps q.program;
+    (* Memos are query-scoped: broadcast the automatic clear of §III-B. *)
+    let cost = ref Sim_time.zero in
+    for dst = 0 to n_workers - 1 do
+      cost :=
+        Sim_time.add !cost
+          (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg (P_cleanup { qid = q.qid }))
+    done;
+    !cost
+  (* ---- Task execution --------------------------------------------------- *)
+  and process w ~at payload =
+    match payload with
+    | P_trav { qid; trav } -> begin
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q when not q.active -> Sim_time.zero
+      | Some q ->
+        let scan label =
+          let mine = Lazy.force w.members in
+          match label with
+          | None -> mine
+          | Some l -> Array.of_seq (Seq.filter (Graph.has_vertex_label graph ~label:l) (Array.to_seq mine))
+        in
+        Metrics.count_step metrics;
+        let outcome =
+          Exec.exec ~graph ~memo:w.memo ~prng:w.prng ~qid ~program:q.program ~scan trav
+        in
+        Metrics.count_edges metrics outcome.Exec.edges_scanned;
+        let cost = ref (exec_cost outcome) in
+        List.iter
+          (fun child ->
+            Metrics.count_spawn metrics;
+            cost := Sim_time.add !cost (dispatch_trav ~at ~src:w.id q child))
+          outcome.Exec.spawns;
+        (* Rows are only produced by Emit, which routes to the coordinator
+           first — so they land here, at the coordinator itself. *)
+        List.iter
+          (fun (row, weight) ->
+            assert (w.id = q.coordinator);
+            Vec.push q.rows row;
+            cost :=
+              Sim_time.add !cost
+                (tracker_receive ~at w q (Program.phase_of_step q.program trav.step) weight))
+          outcome.Exec.rows;
+        if not (Weight.is_zero outcome.Exec.finished) then
+          cost :=
+            Sim_time.add !cost
+              (finish_weight ~at w q (Program.phase_of_step q.program trav.step)
+                 outcome.Exec.finished);
+        !cost
+    end
+    | P_progress { qid; phase; weight } -> begin
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q -> tracker_receive ~at w q phase weight
+    end
+    | P_agg_flush { qid; agg_step } -> begin
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q ->
+        let partial = Memo.partial_opt w.memo ~qid ~label:agg_step in
+        Sim_time.add memo_op_cost
+          (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg
+             (P_agg_partial { qid; agg_step; partial }))
+    end
+    | P_agg_partial { qid; agg_step; partial } -> begin
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q ->
+        assert (q.combine_step = agg_step);
+        (match partial, q.combine_acc with
+        | None, _ -> ()
+        | Some p, None -> q.combine_acc <- Some p
+        | Some p, Some acc -> Aggregate.merge ~into:acc p);
+        q.combine_received <- q.combine_received + 1;
+        if q.combine_received < q.combine_expected then memo_op_cost
+        else begin
+          (* All partials in: finalize and start the next phase. *)
+          let step = Program.step q.program agg_step in
+          let agg, reg =
+            match step.Step.op with
+            | Step.Aggregate { agg; reg } -> (agg, reg)
+            | _ -> assert false
+          in
+          let value =
+            Aggregate.finalize
+              (match q.combine_acc with Some acc -> acc | None -> Aggregate.create agg)
+          in
+          q.combine_step <- -1;
+          let cont =
+            Traverser.set_reg
+              (Traverser.make ~vertex:0 ~step:step.Step.next ~weight:Weight.root
+                 ~n_registers:(Program.n_registers q.program))
+              reg value
+          in
+          Metrics.count_spawn metrics;
+          Sim_time.add memo_op_cost (dispatch_trav ~at ~src:w.id q cont)
+        end
+    end
+    | P_cleanup { qid } ->
+      Memo.clear_query w.memo qid;
+      memo_op_cost
+    | P_setup { qid } -> begin
+      (* Dataflow flavors instantiate every operator of the query's plan
+         (plus its channels) in this worker before execution can start. *)
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q ->
+        let instantiate = 8 * Program.n_steps q.program * costs.Cluster.operator_sched in
+        Sim_time.add instantiate
+          (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg (P_setup_ack { qid }))
+    end
+    | P_setup_ack { qid } -> begin
+      match Hashtbl.find_opt queries qid with
+      | None -> Sim_time.zero
+      | Some q ->
+        q.setup_acks <- q.setup_acks - 1;
+        if q.setup_acks = 0 then begin
+          launch_entries ~at q;
+          costs.Cluster.operator_sched * Program.n_steps q.program
+        end
+        else costs.Cluster.operator_sched
+    end
+  (* ---- Worker scheduling loop ------------------------------------------- *)
+  and launch_entries ~at q =
+    let entries = Program.entries q.program in
+    let shares = Weight.split seed_prng Weight.root ~n:(Array.length entries) in
+    Array.iteri
+      (fun i entry ->
+        let root =
+          Traverser.make ~vertex:0 ~step:entry ~weight:shares.(i)
+            ~n_registers:(Program.n_registers q.program)
+        in
+        match (Program.step q.program entry).Step.op with
+        | Step.Scan _ ->
+          (* Scans start everywhere: one seed per worker, each scanning
+             its own partition. *)
+          let seeds = Weight.split seed_prng shares.(i) ~n:n_workers in
+          Array.iteri
+            (fun dst seed ->
+              ignore
+                (send ~at ~src:q.coordinator ~dst ~kind:Metrics.Control_msg
+                   (P_trav { qid = q.qid; trav = Traverser.with_weight root seed })))
+            seeds
+        | _ -> deliver q.coordinator (P_trav { qid = q.qid; trav = root }))
+      entries
+  and quantum w =
+    (* [awake] stays true while the quantum runs: self-sends and deferred
+       events need no extra wakeup, and the tail of this function either
+       reschedules (staying awake) or goes to sleep explicitly. *)
+    w.awake <- true;
+    let local = ref (max (Cluster.now cluster) w.busy_until) in
+    (* Dataflow flavors poll every live operator instance each quantum. *)
+    if options.flavor <> Graphdance && !active_op_count > 0 then
+      local := Sim_time.add !local (costs.Cluster.operator_sched * !active_op_count);
+    let budget = ref options.quantum in
+    while !budget > 0 && not (Queue.is_empty w.tasks) do
+      decr budget;
+      let payload = Queue.pop w.tasks in
+      local := Sim_time.add !local (process w ~at:!local payload)
+    done;
+    (* Coalesced weights ship when the worker idles or once enough have
+       merged locally to justify a message (§IV-A: they ride along with
+       buffer flushes, not with every death). *)
+    if Queue.is_empty w.tasks || Progress.pending_additions w.coalescer >= 256 then
+      local := Sim_time.add !local (flush_progress ~at:!local w);
+    if Queue.is_empty w.tasks then begin
+      (* Out of work: flush the tier-1 buffers before sleeping (§IV-B). *)
+      w.awake <- false;
+      local := Sim_time.add !local (Channel.flush_worker (channel ()) ~at:!local ~worker:w.id)
+    end
+    else begin
+      w.awake <- true;
+      Event_queue.schedule_at events ~time:!local (fun () -> quantum w)
+    end;
+    let consumed = Sim_time.diff !local (max (Cluster.now cluster) w.busy_until) in
+    Metrics.count_busy metrics consumed;
+    w.busy_total <- Sim_time.add w.busy_total consumed;
+    w.busy_until <- !local
+  in
+  channel_ref :=
+    Some (Channel.create cluster channel_config ~dummy:(P_cleanup { qid = -1 }) ~deliver);
+  (* --- Submit the queries --------------------------------------------- *)
+  Array.iteri
+    (fun qid (s : Engine.submission) ->
+      let program = s.Engine.program in
+      let q =
+        {
+          qid;
+          program;
+          coordinator = qid mod n_workers;
+          submitted = s.Engine.at;
+          completed = None;
+          trackers =
+            Array.init (Program.n_phases program) (fun _ -> Progress.tracker ~target:Weight.root);
+          combine_step = -1;
+          combine_expected = 0;
+          combine_received = 0;
+          combine_acc = None;
+          rows = Vec.create ~dummy:[||];
+          active = true;
+          setup_acks = 0;
+        }
+      in
+      Hashtbl.add queries qid q;
+      Event_queue.schedule_at events ~time:s.Engine.at (fun () ->
+          active_op_count := !active_op_count + Program.n_steps program;
+          match options.flavor with
+          | Graphdance ->
+            (* PSTM programs need no deployment: traversers carry their
+               step index and workers interpret the shared plan. *)
+            launch_entries ~at:s.Engine.at q
+          | Banyan_like | Gaia_like ->
+            (* Dataflow engines deploy the operator graph to every worker
+               and wait for acknowledgements before execution begins —
+               the per-worker instantiation the paper blames for their
+               limited scaling. *)
+            q.setup_acks <- n_workers;
+            for dst = 0 to n_workers - 1 do
+              deliver dst (P_setup { qid })
+            done))
+    submissions;
+  (* --- Run ------------------------------------------------------------- *)
+  (match deadline with
+  | Some time ->
+    Event_queue.run_until events ~time;
+    (* Drop whatever is still in flight: those queries report as timeouts. *)
+    ()
+  | None -> Event_queue.run_to_completion events);
+  let reports =
+    Array.init (Array.length submissions) (fun qid ->
+        let q = query qid in
+        {
+          Engine.qid;
+          name = Program.name q.program;
+          submitted = q.submitted;
+          completed = q.completed;
+          rows = Vec.to_list q.rows;
+        })
+  in
+  {
+    Engine.engine = flavor_name options.flavor;
+    queries = reports;
+    makespan = Cluster.now cluster;
+    metrics;
+    events = Event_queue.executed events;
+    worker_busy = Array.map (fun w -> w.busy_total) workers;
+  }

@@ -1,0 +1,41 @@
+(** The asynchronous PSTM runtime (GraphDance's engine), plus the paper's
+    comparison systems implemented on the same codebase:
+
+    - {!Banyan_like}: dataflow with per-operator instantiation in every
+      worker (scheduling overhead grows with live operators).
+    - {!Gaia_like}: the same, plus centralized stateful operators.
+    - [shared_state]: the non-partitioned graph model of Figure 8.
+    - [weight_coalescing = false]: the Figure 10/11 ablation. *)
+
+type flavor =
+  | Graphdance
+  | Banyan_like
+  | Gaia_like
+
+val flavor_name : flavor -> string
+
+type options = {
+  flavor : flavor;
+  weight_coalescing : bool;
+  shared_state : bool;
+  quantum : int;
+  seed : int;
+  mem_capacity : int option;
+      (** per-node memory budget; a graph exceeding the cluster total
+          makes data access pay [swap_penalty] (the single-node study) *)
+  swap_penalty : int;
+  partition : Partition.strategy; (** the H of the partitioned graph model *)
+}
+
+val default_options : options
+
+(** Run the submissions to completion (or until [deadline]) on a simulated
+    cluster; returns latencies, rows, and channel metrics. *)
+val run :
+  ?options:options ->
+  ?deadline:Sim_time.t ->
+  cluster_config:Cluster.config ->
+  channel_config:Channel.config ->
+  graph:Graph.t ->
+  Engine.submission array ->
+  Engine.report

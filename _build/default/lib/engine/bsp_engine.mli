@@ -1,0 +1,17 @@
+(** Bulk-synchronous-parallel engine: the TigerGraph-role baseline and the
+    Figure 8 "BSP execution" ablation. Same programs, same step semantics,
+    synchronous orchestration with global barriers. *)
+
+type profile =
+  | Ablation (** GraphDance costs under synchronous orchestration *)
+  | Tigergraph_role (** interpreted commercial-baseline stand-in *)
+
+val profile_name : profile -> string
+
+val run :
+  ?profile:profile ->
+  ?deadline:Sim_time.t ->
+  cluster_config:Cluster.config ->
+  graph:Graph.t ->
+  Engine.submission array ->
+  Engine.report

@@ -1,0 +1,61 @@
+(* Common engine-facing types: query submissions and run reports.
+
+   Every engine (asynchronous PSTM, BSP, dataflow flavors, single-node)
+   consumes the same submissions and produces the same report shape, so
+   the benchmark harness swaps engines freely. *)
+
+type submission = {
+  program : Program.t;
+  at : Sim_time.t; (* arrival time of the query *)
+}
+
+let submit ?(at = Sim_time.zero) program = { program; at }
+
+type query_report = {
+  qid : int;
+  name : string;
+  submitted : Sim_time.t;
+  completed : Sim_time.t option; (* None: timed out / not finished *)
+  rows : Value.t array list;
+}
+
+let latency q = Option.map (fun c -> Sim_time.diff c q.submitted) q.completed
+
+let latency_ms q =
+  match latency q with
+  | Some l -> Sim_time.to_ms l
+  | None -> Float.infinity
+
+type report = {
+  engine : string;
+  queries : query_report array;
+  makespan : Sim_time.t; (* last completion (or deadline) *)
+  metrics : Metrics.t;
+  events : int; (* simulator events executed *)
+  worker_busy : Sim_time.t array; (* per-worker CPU time, for straggler analysis *)
+}
+
+let all_completed r = Array.for_all (fun q -> q.completed <> None) r.queries
+
+let mean_latency_ms r =
+  let ls = Array.map latency_ms r.queries in
+  Stats.mean ls
+
+let p99_latency_ms r =
+  let ls = Array.map latency_ms r.queries in
+  Stats.percentile ls 99.0
+
+(* Completed queries per simulated second. *)
+let throughput_qps r =
+  let completed = Array.fold_left (fun n q -> if q.completed <> None then n + 1 else n) 0 r.queries in
+  let span = Sim_time.to_s r.makespan in
+  if span <= 0.0 then 0.0 else float_of_int completed /. span
+
+(* Canonical row order, for comparing engines in tests. *)
+let sorted_rows rows =
+  List.sort (fun a b -> Value.compare (Value.List (Array.to_list a)) (Value.List (Array.to_list b))) rows
+
+let pp_query ppf q =
+  Fmt.pf ppf "%s: %s, %d rows" q.name
+    (match latency q with Some l -> Fmt.str "%a" Sim_time.pp l | None -> "TIMEOUT")
+    (List.length q.rows)

@@ -1,0 +1,149 @@
+(* Single-step interpreter shared by all engines.
+
+   [exec] runs one traverser through one step, mutating only the supplied
+   partition memo, and returns what happened: children to route, result
+   rows, and the weight that terminated here. Engines differ in *where*
+   and *when* they call this — the async engine routes children through
+   the simulated cluster, the BSP engine between supersteps, the local
+   reference engine on a plain queue — but the semantics (and hence the
+   query answers) are defined once, here.
+
+   Weight conservation invariant (property-tested in the suite):
+
+     t.weight = sum of spawned weights + sum of row weights + finished. *)
+
+type outcome = {
+  spawns : Traverser.t list;
+  rows : (Value.t array * Weight.t) list;
+  finished : Weight.t;
+  edges_scanned : int;
+  prop_reads : int;
+  memo_ops : int;
+}
+
+let no_effect =
+  { spawns = []; rows = []; finished = Weight.zero; edges_scanned = 0; prop_reads = 0; memo_ops = 0 }
+
+(* Split [weight] over [children] (traversers built without weights). *)
+let distribute prng weight children k =
+  match children with
+  | [] -> { no_effect with finished = weight }
+  | [ child ] -> k [ Traverser.with_weight child weight ]
+  | _ ->
+    let n = List.length children in
+    let shares = Weight.split prng weight ~n in
+    k (List.mapi (fun i child -> Traverser.with_weight child shares.(i)) children)
+
+let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
+  let step = Program.step program t.step in
+  let eval e = Step.eval_expr graph ~vertex:t.vertex ~regs:t.regs e in
+  match step.Step.op with
+  | Step.Index_lookup { vertex_label; key; value } ->
+    let vertices = Graph.index_lookup graph ?vertex_label ~key value in
+    let children =
+      Array.to_list
+        (Array.map (fun v -> Traverser.move t ~vertex:v ~step:step.next ~weight:Weight.zero) vertices)
+    in
+    distribute prng t.weight children (fun spawns ->
+        { no_effect with spawns; memo_ops = 1; prop_reads = 1 })
+  | Step.Scan { vertex_label } ->
+    let vertices = scan vertex_label in
+    let children =
+      Array.to_list
+        (Array.map (fun v -> Traverser.move t ~vertex:v ~step:step.next ~weight:Weight.zero) vertices)
+    in
+    distribute prng t.weight children (fun spawns ->
+        { no_effect with spawns; edges_scanned = Array.length vertices })
+  | Step.Expand { dir; edge_label } ->
+    let children = ref [] in
+    Graph.iter_adjacent graph ~dir ?label:edge_label t.vertex
+      (fun ~target ~edge_id:_ ~label:_ ->
+        children := Traverser.move t ~vertex:target ~step:step.next ~weight:Weight.zero :: !children);
+    let scanned = Graph.degree graph ~dir t.vertex in
+    distribute prng t.weight (List.rev !children) (fun spawns ->
+        { no_effect with spawns; edges_scanned = scanned })
+  | Step.Filter pred ->
+    let reads = Step.pred_prop_reads pred in
+    if Step.eval_pred graph ~vertex:t.vertex ~regs:t.regs pred then
+      { no_effect with spawns = [ Traverser.at_step t step.next ]; prop_reads = reads }
+    else { no_effect with finished = t.weight; prop_reads = reads }
+  | Step.Set_reg { reg; expr } ->
+    let t' = Traverser.set_reg t reg (eval expr) in
+    {
+      no_effect with
+      spawns = [ Traverser.at_step t' step.next ];
+      prop_reads = Step.expr_prop_reads expr;
+    }
+  | Step.Move_to { reg } ->
+    let target = Value.vertex_exn t.regs.(reg) in
+    { no_effect with spawns = [ Traverser.move t ~vertex:target ~step:step.next ~weight:t.weight ] }
+  | Step.Dedup { by } ->
+    let key = eval by in
+    let fresh = Memo.add_if_absent memo ~qid ~label:t.step key in
+    let reads = Step.expr_prop_reads by in
+    if fresh then
+      { no_effect with spawns = [ Traverser.at_step t step.next ]; prop_reads = reads; memo_ops = 1 }
+    else { no_effect with finished = t.weight; prop_reads = reads; memo_ops = 1 }
+  | Step.Visit { dist_reg; max_hops; cont; emit_improved } ->
+    let d = Value.to_int_exn t.regs.(dist_reg) in
+    let loop_child () =
+      Traverser.at_step (Traverser.set_reg t dist_reg (Value.Int (d + 1))) step.next
+    in
+    let outcome = Memo.min_int_update memo ~qid ~label:t.step (Value.Vertex t.vertex) d in
+    let children =
+      match outcome with
+      | Memo.First_visit ->
+        let cont_child = Traverser.at_step t cont in
+        if d < max_hops then [ cont_child; loop_child () ] else [ cont_child ]
+      | Memo.Improved ->
+        (* Under asynchronous order a vertex can be first reached through a
+           longer path; when the continuation aggregates distances (min /
+           max), improvements must re-emit or the result would be stale.
+           Set-semantics continuations keep the exactly-once emission. *)
+        let base = if d < max_hops then [ loop_child () ] else [] in
+        if emit_improved then Traverser.at_step t cont :: base else base
+      | Memo.Not_improved -> []
+    in
+    distribute prng t.weight children (fun spawns -> { no_effect with spawns; memo_ops = 1 })
+  | Step.Join { key; store; load_regs; cont; _ } ->
+    let key_value = eval key in
+    let payload = Array.map eval store in
+    let partner = Program.join_partner program t.step in
+    Memo.rows_add memo ~qid ~label:t.step key_value payload;
+    let matches = Memo.rows_get memo ~qid ~label:partner key_value in
+    let children =
+      List.map
+        (fun row ->
+          let pairs = List.mapi (fun i reg -> (reg, row.(i))) (Array.to_list load_regs) in
+          Traverser.at_step (Traverser.set_regs t pairs) cont)
+        matches
+    in
+    let reads = Step.expr_prop_reads key + Array.fold_left (fun a e -> a + Step.expr_prop_reads e) 0 store in
+    distribute prng t.weight children (fun spawns ->
+        { no_effect with spawns; prop_reads = reads; memo_ops = 2 })
+  | Step.Aggregate { agg; reg = _ } ->
+    let partial = Memo.partial memo ~qid ~label:t.step agg in
+    Aggregate.accumulate agg partial graph ~vertex:t.vertex ~regs:t.regs;
+    {
+      no_effect with
+      finished = t.weight;
+      prop_reads = Step.agg_prop_reads agg;
+      memo_ops = 1;
+    }
+  | Step.Emit exprs ->
+    let row = Array.map eval exprs in
+    {
+      no_effect with
+      rows = [ (row, t.weight) ];
+      prop_reads = Array.fold_left (fun a e -> a + Step.expr_prop_reads e) 0 exprs;
+    }
+
+(* CPU time of one [exec] outcome under a cluster cost table. *)
+let cost (costs : Cluster.costs) outcome =
+  let open Sim_time in
+  add costs.Cluster.step_dispatch
+    (add
+       (outcome.edges_scanned * costs.Cluster.per_edge)
+       (add
+          (outcome.prop_reads * costs.Cluster.per_property)
+          (outcome.memo_ops * costs.Cluster.memo_op)))

@@ -1,0 +1,29 @@
+(** Single-step interpreter: the shared operational semantics of PSTM
+    steps. Engines differ only in where and when they call {!exec}. *)
+
+type outcome = {
+  spawns : Traverser.t list; (** children, to be routed by the caller *)
+  rows : (Value.t array * Weight.t) list; (** emitted result rows *)
+  finished : Weight.t; (** weight that terminated at this step *)
+  edges_scanned : int;
+  prop_reads : int;
+  memo_ops : int;
+}
+
+(** Execute one traverser through its current step against the partition
+    memo of the worker it is on. [scan] supplies the vertex domain of Scan
+    sources (the whole graph for the reference engine, the partition
+    members for distributed workers). Maintains weight conservation:
+    input weight = spawned + row + finished weights. *)
+val exec :
+  graph:Graph.t ->
+  memo:Memo.t ->
+  prng:Prng.t ->
+  qid:int ->
+  program:Program.t ->
+  scan:(int option -> int array) ->
+  Traverser.t ->
+  outcome
+
+(** CPU time of an outcome under a cluster cost table. *)
+val cost : Cluster.costs -> outcome -> Sim_time.t

@@ -1,0 +1,63 @@
+(* Reference interpreter: the semantic oracle.
+
+   Executes a program directly on the graph with a single memo and a plain
+   FIFO — no partitioning, no simulated time, no weights consulted. Phase
+   p runs to quiescence, then the phase's aggregate (if any) finalizes and
+   its continuation seeds phase p+1. Every distributed engine is tested to
+   produce the same rows as this one on the deterministic query fragment
+   (see test/test_engines.ml). *)
+
+let run graph program =
+  let memo = Memo.create () in
+  let prng = Prng.create 1 in
+  let qid = 0 in
+  let rows = ref [] in
+  let scan label =
+    let out = Vec.create ~dummy:0 in
+    (match label with
+    | None -> Graph.iter_vertices graph (Vec.push out)
+    | Some l -> Graph.iter_vertices_with_label graph l (Vec.push out));
+    Vec.to_array out
+  in
+  let n_phases = Program.n_phases program in
+  let queues = Array.init n_phases (fun _ -> Queue.create ()) in
+  let push (t : Traverser.t) = Queue.add t queues.(Program.phase_of_step program t.step) in
+  (* Seed the entry sources with one root traverser each. *)
+  Array.iter
+    (fun e ->
+      push
+        (Traverser.make ~vertex:0 ~step:e ~weight:Weight.root
+           ~n_registers:(Program.n_registers program)))
+    (Program.entries program);
+  for phase = 0 to n_phases - 1 do
+    let queue = queues.(phase) in
+    while not (Queue.is_empty queue) do
+      let t = Queue.pop queue in
+      let outcome = Exec.exec ~graph ~memo ~prng ~qid ~program ~scan t in
+      List.iter push outcome.Exec.spawns;
+      List.iter (fun (row, _w) -> rows := row :: !rows) outcome.Exec.rows
+    done;
+    match Program.agg_of_phase program phase with
+    | None -> ()
+    | Some agg_step ->
+      let step = Program.step program agg_step in
+      let agg, reg =
+        match step.Step.op with
+        | Step.Aggregate { agg; reg } -> (agg, reg)
+        | _ -> assert false
+      in
+      let partial =
+        match Memo.partial_opt memo ~qid ~label:agg_step with
+        | Some p -> p
+        | None -> Aggregate.create agg (* no input traversers: empty aggregate *)
+      in
+      let value = Aggregate.finalize partial in
+      let cont =
+        Traverser.set_reg
+          (Traverser.make ~vertex:0 ~step:step.Step.next ~weight:Weight.root
+             ~n_registers:(Program.n_registers program))
+          reg value
+      in
+      push cont
+  done;
+  List.rev !rows

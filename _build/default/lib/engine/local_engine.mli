@@ -1,0 +1,5 @@
+(** Reference interpreter defining query semantics; the oracle that every
+    distributed engine is tested against. *)
+
+(** Execute a program and return its result rows in emission order. *)
+val run : Graph.t -> Program.t -> Value.t array list

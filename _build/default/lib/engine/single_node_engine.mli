@@ -1,0 +1,12 @@
+(** Single-node engine (the GraphScope role): the async runtime on one
+    node with a hand-optimized-plugin cost discount and a per-node memory
+    capacity that triggers swapping when the graph no longer fits. *)
+
+val run :
+  ?deadline:Sim_time.t ->
+  ?memory_capacity:int ->
+  workers:int ->
+  base_config:Cluster.config ->
+  graph:Graph.t ->
+  Engine.submission array ->
+  Engine.report

@@ -1,0 +1,1 @@
+lib/gen/datasets.ml: Array Builder Graph Hashtbl Prng Rmat Value

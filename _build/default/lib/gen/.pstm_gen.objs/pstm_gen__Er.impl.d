@@ -1,0 +1,1 @@
+lib/gen/er.ml: Array Builder Prng

@@ -1,0 +1,1 @@
+lib/gen/er.mli: Graph Prng

@@ -1,0 +1,1 @@
+lib/gen/loader.ml: Array Builder Fmt Graph Hashtbl List Printf Prng String Value Vec

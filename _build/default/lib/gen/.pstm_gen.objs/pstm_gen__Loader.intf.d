@@ -1,0 +1,1 @@
+lib/gen/loader.mli: Graph

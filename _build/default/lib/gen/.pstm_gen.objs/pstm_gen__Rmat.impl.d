@@ -1,0 +1,1 @@
+lib/gen/rmat.ml: Builder Hashtbl Prng Vec

@@ -1,0 +1,1 @@
+lib/gen/rmat.mli: Graph Prng

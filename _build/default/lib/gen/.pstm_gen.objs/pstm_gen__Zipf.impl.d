@@ -1,0 +1,1 @@
+lib/gen/zipf.ml: Array Float Prng

@@ -1,0 +1,27 @@
+(** Scaled-down stand-ins for the paper's LiveJournal / Friendster graphs.
+
+    Each preset is deterministic (fixed seed) and cached after first load.
+    Vertices carry integer [weight] and [id] properties as the paper
+    prescribes for aggregation queries on unweighted graphs. *)
+
+type preset = {
+  name : string;
+  paper_name : string; (** what the paper used in this role *)
+  rmat : Rmat.params;
+  seed : int;
+}
+
+val lj_like : preset
+val fs_like : preset
+val tiny : preset
+val all : preset list
+
+(** Generate (or fetch the cached) graph for a preset. *)
+val load : preset -> Graph.t
+
+(** [(name, n_vertices, n_edges, bytes)] — a Table II row. *)
+val row : preset -> string * int * int * int
+
+(**/**)
+
+val build : preset -> Graph.t

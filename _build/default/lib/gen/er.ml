@@ -1,0 +1,23 @@
+(* Erdős–Rényi G(n, m) generator.
+
+   Uniform random graphs are the adversarial opposite of power-law graphs:
+   no hubs, uniform frontier growth. Tests use them to check that engine
+   results do not depend on degree skew, and property tests use small ER
+   graphs as neutral fixtures. *)
+
+let generate prng ~n_vertices ~n_edges =
+  if n_vertices <= 1 && n_edges > 0 then invalid_arg "Er.generate: too few vertices";
+  let edges = Array.make n_edges (0, 0) in
+  for i = 0 to n_edges - 1 do
+    let src = Prng.int prng n_vertices in
+    let dst = ref (Prng.int prng n_vertices) in
+    while !dst = src do
+      dst := Prng.int prng n_vertices
+    done;
+    edges.(i) <- (src, !dst)
+  done;
+  edges
+
+let graph ?(vertex_label = "vertex") ?(edge_label = "link") prng ~n_vertices ~n_edges =
+  let edges = generate prng ~n_vertices ~n_edges in
+  Builder.build (Builder.of_edges ~vertex_label ~edge_label ~n_vertices edges)

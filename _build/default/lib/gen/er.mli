@@ -1,0 +1,4 @@
+(** Erdős–Rényi G(n, m) random graphs (self-loop free, duplicates allowed). *)
+
+val generate : Prng.t -> n_vertices:int -> n_edges:int -> (int * int) array
+val graph : ?vertex_label:string -> ?edge_label:string -> Prng.t -> n_vertices:int -> n_edges:int -> Graph.t

@@ -1,0 +1,100 @@
+(* SNAP edge-list loader.
+
+   The paper's LiveJournal and Friendster datasets are distributed as SNAP
+   text files: '#'-comment headers, then one "src dst" pair per line. This
+   loader reads that format (so the real files can be dropped in where the
+   synthetic stand-ins are used), remaps arbitrary vertex ids to a dense
+   range, optionally symmetrizes, and attaches the id/weight properties
+   the k-hop benchmarks expect. [save] writes the same format back. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* Parse one "src dst" line; [None] for comments and blanks. *)
+let parse_line ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let is_sep c = c = ' ' || c = '\t' || c = ',' in
+    match String.split_on_char ' ' (String.map (fun c -> if is_sep c then ' ' else c) line) with
+    | [] -> None
+    | fields -> begin
+      match List.filter (fun f -> f <> "") fields with
+      | [ a; b ] -> begin
+        match int_of_string_opt a, int_of_string_opt b with
+        | Some s, Some d -> Some (s, d)
+        | _ -> parse_error "line %d: expected two integers, got %S" lineno line
+      end
+      | _ -> parse_error "line %d: expected two fields, got %S" lineno line
+    end
+  end
+
+(* Read raw (src, dst) pairs with their original ids. *)
+let read_edges channel =
+  let edges = Vec.create ~dummy:(0, 0) in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = input_line channel in
+       match parse_line ~lineno:!lineno line with
+       | Some pair -> Vec.push edges pair
+       | None -> ()
+     done
+   with End_of_file -> ());
+  Vec.to_array edges
+
+(* Dense remapping: SNAP ids are sparse and arbitrary. *)
+let densify edges =
+  let ids = Hashtbl.create (2 * Array.length edges) in
+  let next = ref 0 in
+  let map v =
+    match Hashtbl.find_opt ids v with
+    | Some d -> d
+    | None ->
+      let d = !next in
+      incr next;
+      Hashtbl.add ids v d;
+      d
+  in
+  let dense = Array.map (fun (s, d) -> (map s, map d)) edges in
+  (dense, !next)
+
+let of_channel ?(symmetrize = false) ?(weight_seed = 17) channel =
+  let raw = read_edges channel in
+  let edges, n_vertices = densify raw in
+  let edges =
+    if symmetrize then Array.concat [ edges; Array.map (fun (s, d) -> (d, s)) edges ]
+    else edges
+  in
+  let b = Builder.of_edges ~vertex_label:"vertex" ~edge_label:"link" ~n_vertices edges in
+  let prng = Prng.create weight_seed in
+  for v = 0 to n_vertices - 1 do
+    Builder.set_vertex_prop b ~vertex:v ~key:"id" (Value.Int v);
+    Builder.set_vertex_prop b ~vertex:v ~key:"weight" (Value.Int (Prng.int prng 1_000_000))
+  done;
+  Builder.build b
+
+let load ?symmetrize ?weight_seed path =
+  let channel = open_in path in
+  match of_channel ?symmetrize ?weight_seed channel with
+  | graph ->
+    close_in channel;
+    graph
+  | exception e ->
+    close_in_noerr channel;
+    raise e
+
+let save graph path =
+  let channel = open_out path in
+  (try
+     Printf.fprintf channel "# Directed edge list: %d vertices, %d edges\n"
+       (Graph.n_vertices graph) (Graph.n_edges graph);
+     Graph.iter_vertices graph (fun v ->
+         Graph.iter_adjacent graph ~dir:Graph.Out v (fun ~target ~edge_id:_ ~label:_ ->
+             Printf.fprintf channel "%d\t%d\n" v target))
+   with e ->
+     close_out_noerr channel;
+     raise e);
+  close_out channel

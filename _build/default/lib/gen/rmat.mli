@@ -1,0 +1,22 @@
+(** R-MAT recursive-matrix power-law graph generator. *)
+
+type params = {
+  scale : int; (** vertices = 2^scale *)
+  edge_factor : int; (** target edges = edge_factor * vertices *)
+  a : float;
+  b : float;
+  c : float; (** quadrant probabilities; d = 1 - a - b - c *)
+  dedup : bool; (** drop duplicates and self-loops *)
+}
+
+(** scale 14, edge factor 16, (0.57, 0.19, 0.19, 0.05) — Graph500-style. *)
+val default : params
+
+val n_vertices : params -> int
+
+(** Directed edge list. With [dedup] the count can fall slightly short of
+    the target on very skewed parameters. *)
+val generate : ?params:params -> Prng.t -> (int * int) array
+
+(** Edge list assembled into a property graph. *)
+val graph : ?params:params -> ?vertex_label:string -> ?edge_label:string -> Prng.t -> Graph.t

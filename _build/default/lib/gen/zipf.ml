@@ -1,0 +1,51 @@
+(* Zipf-distributed sampling.
+
+   Social graphs have power-law degree and popularity distributions; the
+   SNB-like generator uses Zipf samples to pick tags, forums and friends so
+   that query touch-sets are skewed the way LDBC data is. Sampling uses a
+   precomputed CDF and binary search: O(n) setup, O(log n) per draw. *)
+
+type t = {
+  cdf : float array;
+  n : int;
+}
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** exponent));
+    cdf.(i) <- !total
+  done;
+  let total = !total in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf; n }
+
+let size t = t.n
+
+(* Index in [0, n) with P(i) proportional to (i+1)^-exponent. *)
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) < u then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 (t.n - 1)
+
+(* A degree sequence with a power-law tail, total close to [target_edges].
+   Degrees are assigned to vertices in a random order so that high-degree
+   hubs are spread across partitions. *)
+let degree_sequence prng ~n ~target_edges ~exponent =
+  if n <= 0 then invalid_arg "Zipf.degree_sequence";
+  let raw = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let scale = float_of_int target_edges /. total in
+  let degrees = Array.map (fun w -> max 1 (int_of_float (Float.round (w *. scale)))) raw in
+  Prng.shuffle_in_place prng degrees;
+  degrees

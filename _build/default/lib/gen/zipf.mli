@@ -1,0 +1,14 @@
+(** Zipf-distributed sampling and power-law degree sequences. *)
+
+type t
+
+(** [create ~n ~exponent] samples indices in [0, n) with probability
+    proportional to [(i+1) ** -exponent]. *)
+val create : n:int -> exponent:float -> t
+
+val size : t -> int
+val sample : t -> Prng.t -> int
+
+(** Power-law degrees summing to roughly [target_edges], shuffled so hubs
+    spread across hash partitions. *)
+val degree_sequence : Prng.t -> n:int -> target_edges:int -> exponent:float -> int array

@@ -1,0 +1,1 @@
+lib/graph/builder.ml: Array Csr Fun Graph Hashtbl List Props Schema Value Vec

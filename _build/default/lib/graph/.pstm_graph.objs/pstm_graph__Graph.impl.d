@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Csr Fmt Hashtbl Props Schema Value Vec

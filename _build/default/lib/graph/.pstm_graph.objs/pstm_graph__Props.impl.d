@@ -1,0 +1,1 @@
+lib/graph/props.ml: Array Bitset Hashtbl String Value Vec

@@ -1,0 +1,1 @@
+lib/graph/schema.ml: Hashtbl Printf Vec

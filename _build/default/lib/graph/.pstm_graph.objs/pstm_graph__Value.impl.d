@@ -1,0 +1,1 @@
+lib/graph/value.ml: Bool Float Fmt Hashtbl Int List String

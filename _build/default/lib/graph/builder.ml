@@ -1,0 +1,94 @@
+(* Mutable graph builder.
+
+   Vertices and edges are appended in any order with string labels and
+   property association lists; [build] interns everything, materializes
+   typed property columns and constructs both CSR directions. Edge ids are
+   insertion order, which keeps the builder's returned handles stable. *)
+
+type t = {
+  schema : Schema.t;
+  vertex_labels : int Vec.t;
+  edge_srcs : int Vec.t;
+  edge_dsts : int Vec.t;
+  edge_labels : int Vec.t;
+  vprops : (int, (int * Value.t) Vec.t) Hashtbl.t;
+  eprops : (int, (int * Value.t) Vec.t) Hashtbl.t;
+}
+
+let create ?schema () =
+  let schema = match schema with Some s -> s | None -> Schema.create () in
+  {
+    schema;
+    vertex_labels = Vec.create ~dummy:0;
+    edge_srcs = Vec.create ~dummy:0;
+    edge_dsts = Vec.create ~dummy:0;
+    edge_labels = Vec.create ~dummy:0;
+    vprops = Hashtbl.create 16;
+    eprops = Hashtbl.create 16;
+  }
+
+let schema t = t.schema
+let n_vertices t = Vec.length t.vertex_labels
+let n_edges t = Vec.length t.edge_srcs
+
+let record_props table ~key_of id props =
+  List.iter
+    (fun (key, value) ->
+      let key = key_of key in
+      let pairs =
+        match Hashtbl.find_opt table key with
+        | Some pairs -> pairs
+        | None ->
+          let pairs = Vec.create ~dummy:(0, Value.Null) in
+          Hashtbl.add table key pairs;
+          pairs
+      in
+      Vec.push pairs (id, value))
+    props
+
+let add_vertex t ~label ?(props = []) () =
+  let id = n_vertices t in
+  Vec.push t.vertex_labels (Schema.vertex_label t.schema label);
+  record_props t.vprops ~key_of:(Schema.property_key t.schema) id props;
+  id
+
+let set_vertex_prop t ~vertex ~key value =
+  if vertex < 0 || vertex >= n_vertices t then invalid_arg "Builder.set_vertex_prop";
+  record_props t.vprops ~key_of:(Schema.property_key t.schema) vertex [ (key, value) ]
+
+let add_edge t ~src ~label ~dst ?(props = []) () =
+  let n = n_vertices t in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Builder.add_edge: endpoint out of range";
+  let id = n_edges t in
+  Vec.push t.edge_srcs src;
+  Vec.push t.edge_dsts dst;
+  Vec.push t.edge_labels (Schema.edge_label t.schema label);
+  record_props t.eprops ~key_of:(Schema.property_key t.schema) id props;
+  id
+
+let build t =
+  let n = n_vertices t in
+  let m = n_edges t in
+  let sources = Vec.to_array t.edge_srcs in
+  let targets = Vec.to_array t.edge_dsts in
+  let labels = Vec.to_array t.edge_labels in
+  let edge_ids = Array.init m Fun.id in
+  let out_csr = Csr.build ~n_vertices:n ~sources ~targets ~labels ~edge_ids in
+  let in_csr = Csr.build ~n_vertices:n ~sources:targets ~targets:sources ~labels ~edge_ids in
+  Graph.make ~schema:t.schema ~n_vertices:n
+    ~vertex_label:(Vec.to_array t.vertex_labels)
+    ~out_csr ~in_csr
+    ~vertex_props:(Props.of_sparse ~size:n t.vprops)
+    ~edge_props:(Props.of_sparse ~size:m t.eprops)
+    ~edge_src:sources ~edge_dst:targets ~edge_label_by_id:labels
+
+(* Build a plain unlabeled graph from an edge array; entry point for the
+   synthetic generators, which produce topology only. *)
+let of_edges ?(vertex_label = "vertex") ?(edge_label = "link") ~n_vertices edges =
+  let b = create () in
+  for _ = 1 to n_vertices do
+    ignore (add_vertex b ~label:vertex_label ())
+  done;
+  Array.iter (fun (src, dst) -> ignore (add_edge b ~src ~label:edge_label ~dst ())) edges;
+  b

@@ -1,0 +1,25 @@
+(** Mutable builder producing an immutable {!Graph.t}. *)
+
+type t
+
+val create : ?schema:Schema.t -> unit -> t
+val schema : t -> Schema.t
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** Append a vertex; returns its dense id. *)
+val add_vertex : t -> label:string -> ?props:(string * Value.t) list -> unit -> int
+
+(** Set (or overwrite) one property of an existing vertex. *)
+val set_vertex_prop : t -> vertex:int -> key:string -> Value.t -> unit
+
+(** Append a directed edge; returns its edge id (insertion order). *)
+val add_edge :
+  t -> src:int -> label:string -> dst:int -> ?props:(string * Value.t) list -> unit -> int
+
+val build : t -> Graph.t
+
+(** Builder pre-loaded with [n_vertices] unlabeled vertices and the given
+    topology; used by the synthetic graph generators. *)
+val of_edges :
+  ?vertex_label:string -> ?edge_label:string -> n_vertices:int -> (int * int) array -> t

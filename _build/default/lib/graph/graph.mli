@@ -1,0 +1,80 @@
+(** The property graph [G = (V, E, lambda)], immutable after construction.
+
+    Vertices and edges are dense integer ids. Both directions are
+    materialized; edge ids are shared so edge properties are reachable when
+    traversing inward as well. *)
+
+type direction =
+  | Out
+  | In
+  | Both
+
+val pp_direction : Format.formatter -> direction -> unit
+
+type t
+
+val schema : t -> Schema.t
+val n_vertices : t -> int
+val n_edges : t -> int
+val vertex_label : t -> int -> int
+
+(** [has_vertex_label t ~label v] — does vertex [v] carry [label]? *)
+val has_vertex_label : t -> label:int -> int -> bool
+
+(** Edge endpoints: the special [_src] / [_dest] keys of the paper. *)
+val edge_src : t -> int -> int
+
+val edge_dst : t -> int -> int
+val edge_label : t -> int -> int
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val degree : t -> dir:direction -> int -> int
+
+(** Visit adjacent vertices; [target] is the far endpoint regardless of
+    direction. *)
+val iter_adjacent :
+  t ->
+  dir:direction ->
+  ?label:int ->
+  int ->
+  (target:int -> edge_id:int -> label:int -> unit) ->
+  unit
+
+val adjacent : t -> dir:direction -> ?label:int -> int -> int array
+val vertex_prop : t -> key:int -> int -> Value.t
+
+(** Convenience lookup by property-key name; [Null] when the key or value
+    is absent. *)
+val vertex_prop_by_name : t -> key:string -> int -> Value.t
+
+val edge_prop : t -> key:int -> int -> Value.t
+val iter_vertices : t -> (int -> unit) -> unit
+val iter_vertices_with_label : t -> int -> (int -> unit) -> unit
+
+(** Mean out-degree (optionally per edge label); feeds planner cardinality
+    estimates. *)
+val avg_degree : t -> dir:direction -> ?label:int -> unit -> float
+
+(** Build (or reuse) a hash index on a vertex property and look a value up.
+    Backs the IndexLookup step. *)
+val index_lookup : t -> ?vertex_label:int -> key:int -> Value.t -> int array
+
+val ensure_index :
+  t -> ?vertex_label:int -> key:int -> unit -> (Value.t, int Vec.t) Hashtbl.t
+
+(** Estimated in-memory size in bytes (Table II's "raw size"). *)
+val bytes : t -> int
+
+(** Assemble a graph; used by {!Builder}. *)
+val make :
+  schema:Schema.t ->
+  n_vertices:int ->
+  vertex_label:int array ->
+  out_csr:Csr.t ->
+  in_csr:Csr.t ->
+  vertex_props:Props.t ->
+  edge_props:Props.t ->
+  edge_src:int array ->
+  edge_dst:int array ->
+  edge_label_by_id:int array ->
+  t

@@ -1,0 +1,32 @@
+(** Columnar property storage with typed columns and a [Null] default. *)
+
+type column =
+  | Ints of int array * Bitset.t
+  | Floats of float array * Bitset.t
+  | Strs of string array * Bitset.t
+  | Mixed of Value.t array
+
+type t
+
+val create : size:int -> t
+
+(** Number of rows (vertices or edges). *)
+val size : t -> int
+
+val has_key : t -> int -> bool
+val keys : t -> int list
+
+(** [get t ~key id] is the value at row [id], or [Null] when absent. *)
+val get : t -> key:int -> int -> Value.t
+
+(** Fast path for integer columns. *)
+val get_int : t -> key:int -> int -> int option
+
+val set_column : t -> key:int -> column -> unit
+
+(** Build from sparse per-key (row, value) pair lists; homogeneous columns
+    are specialized to unboxed arrays. *)
+val of_sparse : size:int -> (int, (int * Value.t) Vec.t) Hashtbl.t -> t
+
+(** Estimated memory footprint in bytes. *)
+val bytes : t -> int

@@ -1,0 +1,39 @@
+(** Property values carried by vertices, edges and traverser variables. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Vertex of int
+  | Edge of int
+  | List of t list
+
+(** Total order: [Null] sorts first; [Int] and [Float] compare numerically
+    against each other; other constructors compare within their own kind. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Estimated serialized size, charged against simulated network
+    bandwidth when values cross partitions. *)
+val bytes : t -> int
+
+val is_null : t -> bool
+val to_int : t -> int option
+val to_int_exn : t -> int
+val to_float : t -> float option
+val to_float_exn : t -> float
+val to_bool : t -> bool option
+val to_string_opt : t -> string option
+val vertex_exn : t -> int
+
+(** Numeric addition with [Null] as identity. *)
+val add : t -> t -> t
+
+val max_v : t -> t -> t
+val min_v : t -> t -> t

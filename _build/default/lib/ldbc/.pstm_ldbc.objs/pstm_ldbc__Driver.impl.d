@@ -1,0 +1,1 @@
+lib/ldbc/driver.ml: Array Async_engine Bsp_engine Channel Cluster Engine Float Hashtbl Ic_queries Is_queries List Netmodel Option Prng Program Sim_time Snb_gen Stats Updates Vec

@@ -1,0 +1,1 @@
+lib/ldbc/driver.mli: Async_engine Bsp_engine Channel Cluster Engine Prng Program Sim_time Snb_gen Stats

@@ -1,0 +1,1 @@
+lib/ldbc/ic_queries.ml: Array Ast Compile Dsl Fmt Graph Prng Program Schema Snb_gen Snb_schema Step Value

@@ -1,0 +1,1 @@
+lib/ldbc/ic_queries.mli: Ast Prng Program Snb_gen

@@ -1,0 +1,1 @@
+lib/ldbc/is_queries.ml: Array Compile Dsl Prng Program Snb_gen Snb_schema

@@ -1,0 +1,1 @@
+lib/ldbc/is_queries.mli: Prng Program Snb_gen

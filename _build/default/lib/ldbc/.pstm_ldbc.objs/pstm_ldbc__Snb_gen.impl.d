@@ -1,0 +1,1 @@
+lib/ldbc/snb_gen.ml: Array Builder Fmt Graph Hashtbl Prng Schema Snb_schema Value Vec Zipf

@@ -1,0 +1,1 @@
+lib/ldbc/snb_gen.mli: Graph

@@ -1,0 +1,1 @@
+lib/ldbc/snb_schema.ml: List Schema

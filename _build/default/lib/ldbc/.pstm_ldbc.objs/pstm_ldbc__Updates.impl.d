@@ -1,0 +1,1 @@
+lib/ldbc/updates.ml: Array Cluster Netmodel Prng Sim_time Snb_gen Snb_schema Txn_graph Value

@@ -1,0 +1,1 @@
+lib/ldbc/updates.mli: Cluster Netmodel Prng Sim_time Snb_gen Txn_graph

@@ -1,0 +1,41 @@
+(* The 7 LDBC SNB Interactive Short queries: point lookups and one-hop
+   neighborhood reads. These are the low-latency half of Figure 7's mixed
+   workload. *)
+
+open Dsl
+
+let person (d : Snb_gen.t) prng =
+  v_lookup ~label:Snb_schema.person ~key:"id"
+    (int (Prng.int prng (Array.length d.Snb_gen.persons)))
+
+let message (d : Snb_gen.t) prng =
+  (* Posts and comments share the message role; pick a post. *)
+  v_lookup ~label:Snb_schema.post ~key:"id"
+    (int (Prng.int prng (max 1 (Array.length d.Snb_gen.posts))))
+
+let compile d name ast = Compile.compile ~name d.Snb_gen.graph ast
+
+(* IS1: person profile. *)
+let is1 d prng = compile d "IS1" (person d prng |> values "firstName" |> build)
+
+(* IS2: person's recent messages. *)
+let is2 d prng =
+  compile d "IS2" (person d prng |> in_ Snb_schema.has_creator |> top_k "creationDate" 10 |> build)
+
+(* IS3: person's friends. *)
+let is3 d prng = compile d "IS3" (person d prng |> out_ Snb_schema.knows |> build)
+
+(* IS4: message content. *)
+let is4 d prng = compile d "IS4" (message d prng |> values "content" |> build)
+
+(* IS5: message creator. *)
+let is5 d prng = compile d "IS5" (message d prng |> out_ Snb_schema.has_creator |> build)
+
+(* IS6: forum containing a message. *)
+let is6 d prng = compile d "IS6" (message d prng |> in_ Snb_schema.container_of |> build)
+
+(* IS7: replies to a message. *)
+let is7 d prng = compile d "IS7" (message d prng |> in_ Snb_schema.reply_of |> build)
+
+let all : (string * (Snb_gen.t -> Prng.t -> Program.t)) list =
+  [ ("IS1", is1); ("IS2", is2); ("IS3", is3); ("IS4", is4); ("IS5", is5); ("IS6", is6); ("IS7", is7) ]

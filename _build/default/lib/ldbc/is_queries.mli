@@ -1,0 +1,11 @@
+(** The 7 LDBC SNB Interactive Short queries: point lookups and one-hop
+    reads — the low-latency half of the mixed workload. *)
+
+val is1 : Snb_gen.t -> Prng.t -> Program.t
+val is2 : Snb_gen.t -> Prng.t -> Program.t
+val is3 : Snb_gen.t -> Prng.t -> Program.t
+val is4 : Snb_gen.t -> Prng.t -> Program.t
+val is5 : Snb_gen.t -> Prng.t -> Program.t
+val is6 : Snb_gen.t -> Prng.t -> Program.t
+val is7 : Snb_gen.t -> Prng.t -> Program.t
+val all : (string * (Snb_gen.t -> Prng.t -> Program.t)) list

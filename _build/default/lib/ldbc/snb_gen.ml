@@ -1,0 +1,285 @@
+(* Scaled-down LDBC SNB-like data generator.
+
+   The real SF300 / SF1000 datasets are hundreds of gigabytes; these
+   scales keep the same schema, the same edge types and the same skew
+   shape (power-law friendships, Zipf forum sizes and tag popularity,
+   reply trees) at a size the discrete-event simulator sweeps in seconds.
+   [snb_s] plays the role of SF300 and [snb_l] of SF1000 throughout the
+   benchmark harness.
+
+   Everything is deterministic in the scale's seed. *)
+
+type scale = {
+  name : string;
+  paper_name : string; (* the dataset this stands in for *)
+  persons : int;
+  seed : int;
+}
+
+let snb_s = { name = "SNB-S"; paper_name = "LDBC SNB SF300"; persons = 1_500; seed = 1300 }
+let snb_l = { name = "SNB-L"; paper_name = "LDBC SNB SF1000"; persons = 6_000; seed = 1301 }
+let snb_tiny = { name = "SNB-tiny"; paper_name = "(test fixture)"; persons = 200; seed = 1302 }
+
+let first_names =
+  [| "Jan"; "Wei"; "Otto"; "Ana"; "Ivan"; "Mia"; "Ken"; "Lea"; "Omar"; "Zoe"; "Raj"; "Sam" |]
+
+let last_names =
+  [| "Muller"; "Chen"; "Silva"; "Ito"; "Novak"; "Khan"; "Berg"; "Costa"; "Haas"; "Oduya" |]
+
+let browsers = [| "Firefox"; "Chrome"; "Safari"; "Opera" |]
+let languages = [| "en"; "zh"; "de"; "pt"; "hi" |]
+let genders = [| "male"; "female" |]
+
+(* Epoch days: the benchmark's 2010-2013 window. *)
+let date_lo = 14_600
+let date_hi = 16_000
+
+type counts = {
+  countries : int;
+  cities : int;
+  tagclasses : int;
+  tags : int;
+  companies : int;
+  universities : int;
+  forums : int;
+  posts_per_forum_mean : int;
+  comments_factor : float; (* comments = factor * posts *)
+  likes_per_person : int;
+  knows_mean_degree : int;
+}
+
+let counts_of scale =
+  let p = scale.persons in
+  {
+    countries = 20;
+    cities = 100;
+    tagclasses = 12;
+    tags = 300;
+    companies = 120;
+    universities = 60;
+    forums = max 10 (p * 3 / 5);
+    posts_per_forum_mean = 6;
+    comments_factor = 1.5;
+    likes_per_person = 4;
+    knows_mean_degree = 18;
+  }
+
+(* Generated graph plus the id ranges the parameter curator draws from. *)
+type t = {
+  scale : scale;
+  graph : Graph.t;
+  persons : int array; (* vertex ids by label, index = LDBC id *)
+  forums : int array;
+  posts : int array;
+  comments : int array;
+  tags : int array;
+  countries : int array;
+}
+
+let date prng = Prng.int_in_range prng ~lo:date_lo ~hi:date_hi
+
+let generate scale =
+  let c = counts_of scale in
+  let prng = Prng.create scale.seed in
+  let schema = Schema.create () in
+  Snb_schema.register schema;
+  let b = Builder.create ~schema () in
+  let add_v label props = Builder.add_vertex b ~label ~props () in
+  let add_e src label dst = ignore (Builder.add_edge b ~src ~label ~dst ()) in
+  let iv n = Value.Int n in
+  let sv s = Value.Str s in
+  (* --- Places --- *)
+  let countries =
+    Array.init c.countries (fun i ->
+        add_v Snb_schema.country [ ("id", iv i); ("name", sv (Fmt.str "Country_%d" i)) ])
+  in
+  let cities =
+    Array.init c.cities (fun i ->
+        let v = add_v Snb_schema.city [ ("id", iv i); ("name", sv (Fmt.str "City_%d" i)) ] in
+        add_e v Snb_schema.is_part_of countries.(i mod c.countries);
+        v)
+  in
+  (* --- Tags --- *)
+  let tagclasses =
+    Array.init c.tagclasses (fun i ->
+        add_v Snb_schema.tagclass [ ("id", iv i); ("name", sv (Fmt.str "TagClass_%d" i)) ])
+  in
+  let tags =
+    Array.init c.tags (fun i ->
+        let v = add_v Snb_schema.tag [ ("id", iv i); ("name", sv (Fmt.str "Tag_%d" i)) ] in
+        add_e v Snb_schema.has_type tagclasses.(i mod c.tagclasses);
+        v)
+  in
+  let tag_zipf = Zipf.create ~n:c.tags ~exponent:0.9 in
+  (* --- Organisations --- *)
+  let companies =
+    Array.init c.companies (fun i ->
+        let v =
+          add_v Snb_schema.company [ ("id", iv i); ("name", sv (Fmt.str "Company_%d" i)) ]
+        in
+        add_e v Snb_schema.is_located_in countries.(i mod c.countries);
+        v)
+  in
+  let universities =
+    Array.init c.universities (fun i ->
+        let v =
+          add_v Snb_schema.university [ ("id", iv i); ("name", sv (Fmt.str "University_%d" i)) ]
+        in
+        add_e v Snb_schema.is_located_in cities.(i mod c.cities);
+        v)
+  in
+  (* --- Persons --- *)
+  let persons =
+    Array.init scale.persons (fun i ->
+        let v =
+          add_v Snb_schema.person
+            [
+              ("id", iv i);
+              ("firstName", sv (Prng.pick prng first_names));
+              ("lastName", sv (Prng.pick prng last_names));
+              ("gender", sv (Prng.pick prng genders));
+              ("birthday", iv (Prng.int_in_range prng ~lo:3_000 ~hi:12_000));
+              ("creationDate", iv (date prng));
+              ("browserUsed", sv (Prng.pick prng browsers));
+            ]
+        in
+        add_e v Snb_schema.is_located_in cities.(Prng.int prng c.cities);
+        if Prng.chance prng 0.6 then
+          add_e v Snb_schema.study_at universities.(Prng.int prng c.universities);
+        for _ = 1 to Prng.int prng 3 do
+          add_e v Snb_schema.work_at companies.(Prng.int prng c.companies)
+        done;
+        for _ = 1 to 3 + Prng.int prng 7 do
+          add_e v Snb_schema.has_interest tags.(Zipf.sample tag_zipf prng)
+        done;
+        v)
+  in
+  let person_zipf = Zipf.create ~n:scale.persons ~exponent:0.7 in
+  (* --- knows: power-law friendship, stored in both directions --- *)
+  let degrees =
+    Zipf.degree_sequence prng ~n:scale.persons
+      ~target_edges:(c.knows_mean_degree * scale.persons / 2)
+      ~exponent:0.8
+  in
+  let knows_seen = Hashtbl.create (4 * scale.persons) in
+  Array.iteri
+    (fun i d ->
+      for _ = 1 to d do
+        let j = Zipf.sample person_zipf prng in
+        if i <> j && not (Hashtbl.mem knows_seen (i, j)) then begin
+          Hashtbl.add knows_seen (i, j) ();
+          Hashtbl.add knows_seen (j, i) ();
+          add_e persons.(i) Snb_schema.knows persons.(j);
+          add_e persons.(j) Snb_schema.knows persons.(i)
+        end
+      done)
+    degrees;
+  (* --- Forums, posts, comments --- *)
+  let forums =
+    Array.init c.forums (fun i ->
+        let v =
+          add_v Snb_schema.forum
+            [
+              ("id", iv i);
+              ("title", sv (Fmt.str "Forum_%d" i));
+              ("creationDate", iv (date prng));
+            ]
+        in
+        add_e v Snb_schema.has_moderator persons.(Zipf.sample person_zipf prng);
+        v)
+  in
+  let forum_members = Array.make c.forums [||] in
+  Array.iteri
+    (fun i forum ->
+      let size = 3 + Prng.int prng 40 in
+      let members = Array.init size (fun _ -> Zipf.sample person_zipf prng) in
+      forum_members.(i) <- members;
+      Array.iter (fun m -> add_e forum Snb_schema.has_member persons.(m)) members)
+    forums;
+  let posts = Vec.create ~dummy:0 in
+  let post_creators = Vec.create ~dummy:0 in
+  Array.iteri
+    (fun i forum ->
+      let n_posts = Prng.int prng (2 * c.posts_per_forum_mean) in
+      for _ = 1 to n_posts do
+        let id = Vec.length posts in
+        let creator_ldbc_id = Prng.pick prng forum_members.(i) in
+        let v =
+          add_v Snb_schema.post
+            [
+              ("id", iv id);
+              ("creationDate", iv (date prng));
+              ("language", sv (Prng.pick prng languages));
+              ("length", iv (20 + Prng.int prng 500));
+              ("content", sv (Fmt.str "post-%d" id));
+            ]
+        in
+        add_e forum Snb_schema.container_of v;
+        add_e v Snb_schema.has_creator persons.(creator_ldbc_id);
+        add_e v Snb_schema.is_located_in countries.(Prng.int prng c.countries);
+        for _ = 1 to 1 + Prng.int prng 3 do
+          add_e v Snb_schema.has_tag tags.(Zipf.sample tag_zipf prng)
+        done;
+        Vec.push posts v;
+        Vec.push post_creators creator_ldbc_id
+      done)
+    forums;
+  let posts = Vec.to_array posts in
+  let post_creators = Vec.to_array post_creators in
+  let n_comments =
+    int_of_float (c.comments_factor *. float_of_int (Array.length posts))
+  in
+  let comments = Vec.create ~dummy:0 in
+  let messages = Vec.create ~dummy:0 in
+  Array.iter (Vec.push messages) posts;
+  for id = 0 to n_comments - 1 do
+    if Vec.length messages > 0 then begin
+      let parent = Vec.get messages (Prng.int prng (Vec.length messages)) in
+      let creator =
+        (* Replies usually come from the social neighborhood. *)
+        if Prng.chance prng 0.7 && Array.length posts > 0 then
+          post_creators.(Prng.int prng (Array.length posts))
+        else Zipf.sample person_zipf prng
+      in
+      let v =
+        add_v Snb_schema.comment
+          [
+            ("id", iv id);
+            ("creationDate", iv (date prng));
+            ("length", iv (5 + Prng.int prng 200));
+            ("content", sv (Fmt.str "comment-%d" id));
+          ]
+      in
+      add_e v Snb_schema.reply_of parent;
+      add_e v Snb_schema.has_creator persons.(creator);
+      if Prng.chance prng 0.4 then add_e v Snb_schema.has_tag tags.(Zipf.sample tag_zipf prng);
+      Vec.push comments v;
+      Vec.push messages v
+    end
+  done;
+  let comments = Vec.to_array comments in
+  (* --- likes --- *)
+  let all_messages = Vec.to_array messages in
+  for p = 0 to scale.persons - 1 do
+    for _ = 1 to Prng.int prng (2 * c.likes_per_person) do
+      if Array.length all_messages > 0 then
+        add_e persons.(p) Snb_schema.likes all_messages.(Prng.int prng (Array.length all_messages))
+    done
+  done;
+  let graph = Builder.build b in
+  { scale; graph; persons; forums; posts; comments; tags; countries }
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 4
+
+let load scale =
+  match Hashtbl.find_opt cache scale.name with
+  | Some d -> d
+  | None ->
+    let d = generate scale in
+    Hashtbl.add cache scale.name d;
+    d
+
+(* A Table II row: (name, vertices, edges, bytes). *)
+let row scale =
+  let d = load scale in
+  (scale.name, Graph.n_vertices d.graph, Graph.n_edges d.graph, Graph.bytes d.graph)

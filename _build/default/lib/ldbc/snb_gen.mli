@@ -1,0 +1,43 @@
+(** Scaled-down LDBC SNB-like dataset generator.
+
+    Same schema, edge types and skew shape as the benchmark's datasets at
+    a simulator-friendly size; [snb_s] stands in for SF300 and [snb_l]
+    for SF1000 (see DESIGN.md). Deterministic in the scale's seed. *)
+
+type scale = {
+  name : string;
+  paper_name : string;
+  persons : int;
+  seed : int;
+}
+
+val snb_s : scale
+val snb_l : scale
+val snb_tiny : scale
+
+(** Date window of generated creationDate/birthday values (epoch days). *)
+val date_lo : int
+
+val date_hi : int
+val first_names : string array
+val last_names : string array
+
+type t = {
+  scale : scale;
+  graph : Graph.t;
+  persons : int array; (** vertex ids indexed by LDBC person id *)
+  forums : int array;
+  posts : int array;
+  comments : int array;
+  tags : int array;
+  countries : int array;
+}
+
+(** Generate, bypassing the cache. *)
+val generate : scale -> t
+
+(** Generate or fetch the cached dataset for a scale. *)
+val load : scale -> t
+
+(** [(name, vertices, edges, bytes)] — a Table II row. *)
+val row : scale -> string * int * int * int

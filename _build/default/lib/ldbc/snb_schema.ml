@@ -1,0 +1,90 @@
+(* LDBC SNB schema: the vertex labels, edge labels and property keys of
+   the Social Network Benchmark, as used by the generator and the query
+   implementations. Names follow the LDBC specification so the query code
+   reads like the benchmark definitions. *)
+
+(* Vertex labels *)
+let person = "Person"
+let forum = "Forum"
+let post = "Post"
+let comment = "Comment"
+let tag = "Tag"
+let tagclass = "TagClass"
+let city = "City"
+let country = "Country"
+let company = "Company"
+let university = "University"
+
+let vertex_labels =
+  [ person; forum; post; comment; tag; tagclass; city; country; company; university ]
+
+(* Edge labels (direction as in the LDBC schema) *)
+let knows = "knows" (* Person -> Person, stored both ways *)
+let has_interest = "hasInterest" (* Person -> Tag *)
+let is_located_in = "isLocatedIn" (* Person -> City, Message -> Country, Org -> Place *)
+let is_part_of = "isPartOf" (* City -> Country *)
+let study_at = "studyAt" (* Person -> University *)
+let work_at = "workAt" (* Person -> Company *)
+let has_moderator = "hasModerator" (* Forum -> Person *)
+let has_member = "hasMember" (* Forum -> Person *)
+let container_of = "containerOf" (* Forum -> Post *)
+let has_creator = "hasCreator" (* Message -> Person *)
+let reply_of = "replyOf" (* Comment -> Message *)
+let has_tag = "hasTag" (* Message -> Tag *)
+let has_type = "hasType" (* Tag -> TagClass *)
+let likes = "likes" (* Person -> Message *)
+
+let edge_labels =
+  [
+    knows;
+    has_interest;
+    is_located_in;
+    is_part_of;
+    study_at;
+    work_at;
+    has_moderator;
+    has_member;
+    container_of;
+    has_creator;
+    reply_of;
+    has_tag;
+    has_type;
+    likes;
+  ]
+
+(* Property keys *)
+let k_id = "id"
+let k_first_name = "firstName"
+let k_last_name = "lastName"
+let k_gender = "gender"
+let k_birthday = "birthday" (* epoch day *)
+let k_creation_date = "creationDate" (* epoch day *)
+let k_browser = "browserUsed"
+let k_content = "content"
+let k_length = "length"
+let k_language = "language"
+let k_title = "title"
+let k_name = "name"
+
+let property_keys =
+  [
+    k_id;
+    k_first_name;
+    k_last_name;
+    k_gender;
+    k_birthday;
+    k_creation_date;
+    k_browser;
+    k_content;
+    k_length;
+    k_language;
+    k_title;
+    k_name;
+  ]
+
+(* Pre-intern everything so compiled queries and the generator agree on
+   ids regardless of insertion order. *)
+let register schema =
+  List.iter (fun l -> ignore (Schema.vertex_label schema l)) vertex_labels;
+  List.iter (fun l -> ignore (Schema.edge_label schema l)) edge_labels;
+  List.iter (fun k -> ignore (Schema.property_key schema k)) property_keys

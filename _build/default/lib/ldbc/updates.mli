@@ -1,0 +1,32 @@
+(** LDBC SNB interactive update operations, executed against the
+    transactional substrate (pstm_txn). *)
+
+type kind =
+  | Add_person
+  | Add_friendship
+  | Add_forum
+  | Add_membership
+  | Add_post
+  | Add_comment
+  | Add_like
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+type outcome =
+  | Committed
+  | Aborted
+
+(** [(vertex locks, edge appends)] performed by an update kind. *)
+val footprint : kind -> int * int
+
+(** Execute one update transaction (MV2PL no-wait: may abort). *)
+val apply : Txn_graph.t -> Prng.t -> kind -> outcome
+
+(** Simulated latency of one update under the §IV-C cost model: manager
+    round trips, lock acquisitions, TEL appends, commit broadcast. *)
+val simulated_latency : Netmodel.t -> Cluster.costs -> kind -> Sim_time.t
+
+(** Transactional store seeded with (a subset of) a generated dataset's
+    person population. *)
+val store_of_data : Snb_gen.t -> n_nodes:int -> Txn_graph.t

@@ -1,0 +1,1 @@
+lib/query/compile.ml: Array Ast Fmt Graph Hashtbl List Option Planner Program Schema Step Strategies Value Vec

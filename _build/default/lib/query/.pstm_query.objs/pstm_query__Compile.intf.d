@@ -1,0 +1,1 @@
+lib/query/compile.mli: Ast Graph Planner Program

@@ -1,0 +1,1 @@
+lib/query/dsl.ml: Ast Graph List Value

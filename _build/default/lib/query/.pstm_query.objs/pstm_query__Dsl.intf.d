@@ -1,0 +1,1 @@
+lib/query/dsl.mli: Ast Graph Value

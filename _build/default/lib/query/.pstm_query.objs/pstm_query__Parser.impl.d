@@ -1,0 +1,1 @@
+lib/query/parser.ml: Array Ast Fmt Graph Lexer List Value

@@ -1,0 +1,1 @@
+lib/query/planner.ml: Ast Float Fmt Fun Graph Hashtbl List Option Schema

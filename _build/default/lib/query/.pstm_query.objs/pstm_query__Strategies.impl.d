@@ -1,0 +1,1 @@
+lib/query/strategies.ml: Ast List Option

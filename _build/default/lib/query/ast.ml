@@ -1,0 +1,108 @@
+(* Surface syntax: a Gremlin-like traversal AST.
+
+   This is what the DSL combinators and the textual parser produce, what
+   the traversal strategies rewrite, and what the compiler lowers to PSTM
+   steps. It deliberately mirrors the Gremlin steps used throughout the
+   paper: source steps (V / index lookup), movement (out/in/both), filters
+   (has / hasLabel / where), dedup, multi-hop repeat, and the aggregation
+   tail (count / sum / top-k / group-count / limit). *)
+
+type pred =
+  | Eq of Value.t
+  | Ne of Value.t
+  | Lt of Value.t
+  | Le of Value.t
+  | Gt of Value.t
+  | Ge of Value.t
+  | Within of Value.t list
+
+type gstep =
+  | Out of string option (* out('knows'); None expands every label *)
+  | In of string option
+  | Both of string option
+  | Has_label of string
+  | Has of string * pred
+  | Where_neq of string (* current vertex <> the one bound by as_ *)
+  | Dedup
+  | As of string
+  | Select of string (* refocus on a bound vertex *)
+  | Values of string (* project a property; terminal context *)
+  | Repeat of { dir : Graph.direction; label : string option; times : int }
+    (* memo-deduplicated multi-hop expansion: emits every vertex within
+       [times] hops, exactly the Figure 1 k-hop pattern *)
+  | Count
+  | Sum_of of string
+  | Max_of of string
+  | Min_of of string
+  | Group_count of string
+  | Order_by of string (* descending by property; must be followed by Limit *)
+  | Limit of int
+  | Top_k of { key : string; k : int } (* fused Order_by + Limit *)
+
+type source =
+  | Scan_all of string option (* g.V() / g.V().hasLabel(l) *)
+  | Lookup of { label : string option; key : string; value : Value.t }
+
+type traversal = {
+  source : source;
+  steps : gstep list;
+}
+
+type t =
+  | Traversal of traversal
+  | Join_of of {
+      left : traversal; (* both sides must end at the join vertex *)
+      right : traversal;
+      post : gstep list; (* continuation from the join vertex *)
+    }
+
+let pp_pred ppf = function
+  | Eq v -> Fmt.pf ppf "eq(%a)" Value.pp v
+  | Ne v -> Fmt.pf ppf "neq(%a)" Value.pp v
+  | Lt v -> Fmt.pf ppf "lt(%a)" Value.pp v
+  | Le v -> Fmt.pf ppf "lte(%a)" Value.pp v
+  | Gt v -> Fmt.pf ppf "gt(%a)" Value.pp v
+  | Ge v -> Fmt.pf ppf "gte(%a)" Value.pp v
+  | Within vs -> Fmt.pf ppf "within(%a)" (Fmt.list ~sep:Fmt.comma Value.pp) vs
+
+let pp_label ppf = function None -> () | Some l -> Fmt.pf ppf "'%s'" l
+
+let pp_gstep ppf = function
+  | Out l -> Fmt.pf ppf "out(%a)" pp_label l
+  | In l -> Fmt.pf ppf "in(%a)" pp_label l
+  | Both l -> Fmt.pf ppf "both(%a)" pp_label l
+  | Has_label l -> Fmt.pf ppf "hasLabel('%s')" l
+  | Has (k, p) -> Fmt.pf ppf "has('%s', %a)" k pp_pred p
+  | Where_neq n -> Fmt.pf ppf "where(neq('%s'))" n
+  | Dedup -> Fmt.string ppf "dedup()"
+  | As n -> Fmt.pf ppf "as('%s')" n
+  | Select n -> Fmt.pf ppf "select('%s')" n
+  | Values k -> Fmt.pf ppf "values('%s')" k
+  | Repeat { dir; label; times } ->
+    Fmt.pf ppf "repeat(%a(%a)).times(%d)" Graph.pp_direction dir pp_label label times
+  | Count -> Fmt.string ppf "count()"
+  | Sum_of k -> Fmt.pf ppf "sum('%s')" k
+  | Max_of k -> Fmt.pf ppf "max('%s')" k
+  | Min_of k -> Fmt.pf ppf "min('%s')" k
+  | Group_count k -> Fmt.pf ppf "groupCount('%s')" k
+  | Order_by k -> Fmt.pf ppf "order().by('%s', desc)" k
+  | Limit n -> Fmt.pf ppf "limit(%d)" n
+  | Top_k { key; k } -> Fmt.pf ppf "order().by('%s', desc).limit(%d)" key k
+
+let pp_source ppf = function
+  | Scan_all None -> Fmt.string ppf "g.V()"
+  | Scan_all (Some l) -> Fmt.pf ppf "g.V().hasLabel('%s')" l
+  | Lookup { label; key; value } ->
+    Fmt.pf ppf "g.V()%a.has('%s', %a)"
+      (fun ppf -> function None -> () | Some l -> Fmt.pf ppf ".hasLabel('%s')" l)
+      label key Value.pp value
+
+let pp_traversal ppf t =
+  pp_source ppf t.source;
+  List.iter (fun s -> Fmt.pf ppf ".%a" pp_gstep s) t.steps
+
+let pp ppf = function
+  | Traversal t -> pp_traversal ppf t
+  | Join_of { left; right; post } ->
+    Fmt.pf ppf "join(%a, %a)" pp_traversal left pp_traversal right;
+    List.iter (fun s -> Fmt.pf ppf ".%a" pp_gstep s) post

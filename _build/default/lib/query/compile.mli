@@ -1,0 +1,23 @@
+(** Compiler: Gremlin-like AST -> validated PSTM program.
+
+    Pipeline: {!Strategies.apply} rewrites, {!Planner.choose} places joins,
+    then lowering with explicit control-flow patching. *)
+
+exception Error of string
+
+(** Compile a query against a graph's schema. Unknown labels compile to
+    programs that match nothing (as in Gremlin). Raises {!Error} on
+    malformed traversals (movement after [values()], unbound [select],
+    unfused [order().by()], ...). *)
+val compile : ?name:string -> Graph.t -> Ast.t -> Program.t
+
+(** Compile a join pattern under a forced plan (for plan-comparison
+    experiments). *)
+val compile_with_plan :
+  ?name:string ->
+  Graph.t ->
+  plan:Planner.plan ->
+  left:Ast.traversal ->
+  right:Ast.traversal ->
+  post:Ast.gstep list ->
+  Program.t

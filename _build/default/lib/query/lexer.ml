@@ -1,0 +1,125 @@
+(* Lexer for the textual Gremlin subset.
+
+   Token stream for queries like
+
+     g.V().hasLabel('Person').has('id', eq(42))
+          .repeat(out('knows')).times(2)
+          .order().by('weight', desc).limit(10)
+
+   Strings accept single or double quotes; numbers are integers or floats;
+   everything else is identifiers and punctuation. *)
+
+type token =
+  | Ident of string
+  | Str_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Dot
+  | Lparen
+  | Rparen
+  | Comma
+  | Eof
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Str_lit s -> Fmt.pf ppf "string %S" s
+  | Int_lit n -> Fmt.pf ppf "integer %d" n
+  | Float_lit f -> Fmt.pf ppf "float %g" f
+  | Dot -> Fmt.string ppf "'.'"
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Comma -> Fmt.string ppf "','"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize the whole input up front; queries are short. *)
+let tokenize input =
+  let n = String.length input in
+  let tokens = Vec.create ~dummy:Eof in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p input.[!pos] do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let read_string quote =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> error "unterminated string literal"
+      | Some c when c = quote -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+        | None -> error "unterminated escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let rec loop () =
+    match peek () with
+    | None -> Vec.push tokens Eof
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      loop ()
+    | Some '.' ->
+      (* Disambiguate the chain dot from a leading-dot float: [.5] never
+         appears in Gremlin chains, so dot is always a separator here. *)
+      advance ();
+      Vec.push tokens Dot;
+      loop ()
+    | Some '(' ->
+      advance ();
+      Vec.push tokens Lparen;
+      loop ()
+    | Some ')' ->
+      advance ();
+      Vec.push tokens Rparen;
+      loop ()
+    | Some ',' ->
+      advance ();
+      Vec.push tokens Comma;
+      loop ()
+    | Some (('\'' | '"') as quote) ->
+      Vec.push tokens (Str_lit (read_string quote));
+      loop ()
+    | Some '-' ->
+      advance ();
+      let digits = read_while (fun c -> is_digit c || c = '.') in
+      if digits = "" then error "dangling '-'";
+      if String.contains digits '.' then
+        Vec.push tokens (Float_lit (-.float_of_string digits))
+      else Vec.push tokens (Int_lit (-int_of_string digits));
+      loop ()
+    | Some c when is_digit c ->
+      let digits = read_while (fun c -> is_digit c || c = '.') in
+      if String.contains digits '.' then Vec.push tokens (Float_lit (float_of_string digits))
+      else Vec.push tokens (Int_lit (int_of_string digits));
+      loop ()
+    | Some c when is_ident_start c ->
+      Vec.push tokens (Ident (read_while is_ident_char));
+      loop ()
+    | Some c -> error "unexpected character %C" c
+  in
+  loop ();
+  Vec.to_array tokens

@@ -1,0 +1,20 @@
+(** Lexer for the textual Gremlin subset. *)
+
+type token =
+  | Ident of string
+  | Str_lit of string
+  | Int_lit of int
+  | Float_lit of float
+  | Dot
+  | Lparen
+  | Rparen
+  | Comma
+  | Eof
+
+exception Error of string
+
+val pp_token : Format.formatter -> token -> unit
+
+(** Tokenize the whole input; the final token is always [Eof]. Raises
+    {!Error} on malformed input. *)
+val tokenize : string -> token array

@@ -1,0 +1,261 @@
+(* Recursive-descent parser for the textual Gremlin subset.
+
+   Grammar (informally):
+
+     query  ::= 'g' '.' 'V' '(' ')' step*
+     step   ::= '.' name '(' args? ')'
+     args   ::= arg (',' arg)*
+     arg    ::= literal | predicate | nested-traversal
+     pred   ::= ('eq'|'neq'|'lt'|'lte'|'gt'|'gte') '(' literal ')'
+              | 'within' '(' literal (',' literal)* ')'
+
+   Supported steps mirror the DSL: hasLabel, has, out, in, both, dedup,
+   as, select, where(neq(x)), values, repeat(movement).times(k), count,
+   sum, max, min, groupCount, order().by(key, desc), limit. The strategy
+   pass fuses order+limit into a top-k. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state = {
+  tokens : Lexer.token array;
+  mutable pos : int;
+}
+
+let peek st = st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st token =
+  if peek st = token then advance st
+  else error "expected %a but found %a" Lexer.pp_token token Lexer.pp_token (peek st)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | t -> error "expected an identifier but found %a" Lexer.pp_token t
+
+let expect_string st =
+  match peek st with
+  | Lexer.Str_lit s ->
+    advance st;
+    s
+  | t -> error "expected a string literal but found %a" Lexer.pp_token t
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int_lit n ->
+    advance st;
+    n
+  | t -> error "expected an integer but found %a" Lexer.pp_token t
+
+let literal st =
+  match peek st with
+  | Lexer.Str_lit s ->
+    advance st;
+    Value.Str s
+  | Lexer.Int_lit n ->
+    advance st;
+    Value.Int n
+  | Lexer.Float_lit f ->
+    advance st;
+    Value.Float f
+  | Lexer.Ident "true" ->
+    advance st;
+    Value.Bool true
+  | Lexer.Ident "false" ->
+    advance st;
+    Value.Bool false
+  | t -> error "expected a literal but found %a" Lexer.pp_token t
+
+(* eq(v), neq(v), ..., within(v, ...) — or a bare literal meaning eq. *)
+let predicate st =
+  match peek st with
+  | Lexer.Ident (("eq" | "neq" | "lt" | "lte" | "gt" | "gte") as op) ->
+    advance st;
+    expect st Lexer.Lparen;
+    let v = literal st in
+    expect st Lexer.Rparen;
+    (match op with
+    | "eq" -> Ast.Eq v
+    | "neq" -> Ast.Ne v
+    | "lt" -> Ast.Lt v
+    | "lte" -> Ast.Le v
+    | "gt" -> Ast.Gt v
+    | "gte" -> Ast.Ge v
+    | _ -> assert false)
+  | Lexer.Ident "within" ->
+    advance st;
+    expect st Lexer.Lparen;
+    let rec values acc =
+      let v = literal st in
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        values (v :: acc)
+      | _ -> List.rev (v :: acc)
+    in
+    let vs = values [] in
+    expect st Lexer.Rparen;
+    Ast.Within vs
+  | _ -> Ast.Eq (literal st)
+
+(* A movement step inside repeat( ... ). *)
+let movement st =
+  let name = expect_ident st in
+  expect st Lexer.Lparen;
+  let label =
+    match peek st with
+    | Lexer.Rparen -> None
+    | _ -> Some (expect_string st)
+  in
+  expect st Lexer.Rparen;
+  match name with
+  | "out" -> (Graph.Out, label)
+  | "in" -> (Graph.In, label)
+  | "both" -> (Graph.Both, label)
+  | _ -> error "repeat() supports a single movement step, not %s()" name
+
+let optional_label st =
+  match peek st with
+  | Lexer.Rparen -> None
+  | _ -> Some (expect_string st)
+
+(* One chained step after the source. Steps that fuse with a successor
+   (repeat/times, order/by) consume it here. *)
+let rec steps st acc =
+  match peek st with
+  | Lexer.Eof -> List.rev acc
+  | Lexer.Dot ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.Lparen;
+    let step =
+      match name with
+      | "out" ->
+        let l = optional_label st in
+        expect st Lexer.Rparen;
+        Ast.Out l
+      | "in" ->
+        let l = optional_label st in
+        expect st Lexer.Rparen;
+        Ast.In l
+      | "both" ->
+        let l = optional_label st in
+        expect st Lexer.Rparen;
+        Ast.Both l
+      | "hasLabel" ->
+        let l = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Has_label l
+      | "has" ->
+        let key = expect_string st in
+        expect st Lexer.Comma;
+        let p = predicate st in
+        expect st Lexer.Rparen;
+        Ast.Has (key, p)
+      | "dedup" ->
+        expect st Lexer.Rparen;
+        Ast.Dedup
+      | "as" ->
+        let n = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.As n
+      | "select" ->
+        let n = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Select n
+      | "values" ->
+        let k = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Values k
+      | "where" ->
+        (* where(neq('x')) *)
+        (match expect_ident st with
+        | "neq" -> ()
+        | other -> error "where() supports neq(), not %s()" other);
+        expect st Lexer.Lparen;
+        let n = expect_string st in
+        expect st Lexer.Rparen;
+        expect st Lexer.Rparen;
+        Ast.Where_neq n
+      | "repeat" ->
+        let dir, label = movement st in
+        expect st Lexer.Rparen;
+        expect st Lexer.Dot;
+        (match expect_ident st with
+        | "times" -> ()
+        | other -> error "repeat() must be followed by times(), not %s()" other);
+        expect st Lexer.Lparen;
+        let times = expect_int st in
+        expect st Lexer.Rparen;
+        Ast.Repeat { dir; label; times }
+      | "count" ->
+        expect st Lexer.Rparen;
+        Ast.Count
+      | "sum" ->
+        let k = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Sum_of k
+      | "max" ->
+        let k = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Max_of k
+      | "min" ->
+        let k = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Min_of k
+      | "groupCount" ->
+        let k = expect_string st in
+        expect st Lexer.Rparen;
+        Ast.Group_count k
+      | "order" ->
+        (* order().by('key', desc) *)
+        expect st Lexer.Rparen;
+        expect st Lexer.Dot;
+        (match expect_ident st with
+        | "by" -> ()
+        | other -> error "order() must be followed by by(), not %s()" other);
+        expect st Lexer.Lparen;
+        let key = expect_string st in
+        (match peek st with
+        | Lexer.Comma -> begin
+          advance st;
+          match expect_ident st with
+          | "desc" -> ()
+          | other -> error "order().by supports desc ordering, not %s" other
+        end
+        | _ -> error "order().by requires an explicit desc ordering");
+        expect st Lexer.Rparen;
+        Ast.Order_by key
+      | "limit" ->
+        let n = expect_int st in
+        expect st Lexer.Rparen;
+        Ast.Limit n
+      | other -> error "unsupported step %s()" other
+    in
+    steps st (step :: acc)
+  | t -> error "expected '.' or end of query but found %a" Lexer.pp_token t
+
+let parse_exn input =
+  let st = { tokens = Lexer.tokenize input; pos = 0 } in
+  (match expect_ident st with
+  | "g" -> ()
+  | other -> error "queries start with g.V(), found %s" other);
+  expect st Lexer.Dot;
+  (match expect_ident st with
+  | "V" -> ()
+  | other -> error "queries start with g.V(), found g.%s" other);
+  expect st Lexer.Lparen;
+  expect st Lexer.Rparen;
+  let all_steps = steps st [] in
+  Ast.Traversal { Ast.source = Ast.Scan_all None; steps = all_steps }
+
+let parse input =
+  match parse_exn input with
+  | ast -> Ok ast
+  | exception Error message -> Error message
+  | exception Lexer.Error message -> Error message

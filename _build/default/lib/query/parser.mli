@@ -1,0 +1,19 @@
+(** Parser for the textual Gremlin subset.
+
+    Example:
+    {[
+      Parser.parse
+        "g.V().has('id', 42).repeat(out('knows')).times(2)\
+         .has('id', neq(42)).order().by('weight', desc).limit(10)"
+    ]}
+
+    The resulting AST goes through the same strategies and compiler as
+    DSL-built queries (the scan + has prefix becomes an index lookup). *)
+
+exception Error of string
+
+(** Parse; [Error message] describes the first syntax problem. *)
+val parse : string -> (Ast.t, string) result
+
+(** Parse, raising {!Error}. *)
+val parse_exn : string -> Ast.t

@@ -1,0 +1,83 @@
+(* Traversal strategies: semantics-preserving AST rewrites (§II-B).
+
+   Mirrors Gremlin's compiler strategies: each pass rewrites a section of
+   the traversal into an equivalent but cheaper form. [apply_all] runs the
+   passes to a fixed point; the compiler invokes it before lowering. *)
+
+(* IndexLookUpStrategy: a full vertex scan followed by an equality filter
+   becomes an index lookup, shrinking the accessed data from |V| to the
+   matching bucket. *)
+let index_lookup (t : Ast.traversal) =
+  match t.source, t.steps with
+  | Ast.Scan_all label, Ast.Has (key, Ast.Eq value) :: rest ->
+    Some { Ast.source = Ast.Lookup { label; key; value }; steps = rest }
+  | _ -> None
+
+(* Fold a leading hasLabel into the source. *)
+let label_pushdown (t : Ast.traversal) =
+  match t.source, t.steps with
+  | Ast.Scan_all None, Ast.Has_label l :: rest ->
+    Some { Ast.source = Ast.Scan_all (Some l); steps = rest }
+  | Ast.Lookup { label = None; key; value }, Ast.Has_label l :: rest ->
+    Some { Ast.source = Ast.Lookup { label = Some l; key; value }; steps = rest }
+  | _ -> None
+
+(* order().by(k, desc).limit(n) fuses into a distributed top-k aggregation
+   instead of a global sort. *)
+let rec fuse_order_limit = function
+  | Ast.Order_by key :: Ast.Limit k :: rest -> Some (Ast.Top_k { key; k } :: rest)
+  | s :: rest -> Option.map (fun rest -> s :: rest) (fuse_order_limit rest)
+  | [] -> None
+
+(* A dedup immediately after a memo-deduplicated repeat is redundant: the
+   Visit step already emits each vertex at most once. *)
+let rec drop_redundant_dedup = function
+  | (Ast.Repeat _ as r) :: Ast.Dedup :: rest -> Some (r :: rest)
+  | s :: rest -> Option.map (fun rest -> s :: rest) (drop_redundant_dedup rest)
+  | [] -> None
+
+(* Adjacent dedups collapse. *)
+let rec collapse_dedup = function
+  | Ast.Dedup :: Ast.Dedup :: rest -> Some (Ast.Dedup :: rest)
+  | s :: rest -> Option.map (fun rest -> s :: rest) (collapse_dedup rest)
+  | [] -> None
+
+let step_passes = [ fuse_order_limit; drop_redundant_dedup; collapse_dedup ]
+let source_passes = [ index_lookup; label_pushdown ]
+
+let apply_traversal t =
+  let t = ref t in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun pass ->
+        match pass !t with
+        | Some t' ->
+          t := t';
+          changed := true
+        | None -> ())
+      source_passes;
+    List.iter
+      (fun pass ->
+        match pass !t.Ast.steps with
+        | Some steps ->
+          t := { !t with Ast.steps };
+          changed := true
+        | None -> ())
+      step_passes
+  done;
+  !t
+
+let apply = function
+  | Ast.Traversal t -> Ast.Traversal (apply_traversal t)
+  | Ast.Join_of { left; right; post } ->
+    let post =
+      let rec fixpoint steps =
+        match fuse_order_limit steps with
+        | Some steps -> fixpoint steps
+        | None -> steps
+      in
+      fixpoint post
+    in
+    Ast.Join_of { left = apply_traversal left; right = apply_traversal right; post }

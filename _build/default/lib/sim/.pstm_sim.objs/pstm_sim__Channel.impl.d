@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Array Cluster Event_queue Metrics Sim_time Vec

@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Event_queue Metrics Netmodel Sim_time

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Event_queue Metrics Netmodel Sim_time

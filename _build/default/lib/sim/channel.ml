@@ -1,0 +1,157 @@
+(* Two-tier message-passing channel (§IV-B of the paper).
+
+   Tier 1 (thread-level combining, TLC): every worker keeps one buffer per
+   destination node; messages stash there and the buffer flushes to tier 2
+   when it exceeds [flush_bytes] (8 KB in the paper) or when the worker
+   runs out of work. Tier 2 (node-level combining, NLC): a per-node network
+   thread merges flushed buffers headed to the same destination node within
+   a short window and emits one packet. Same-node messages short-cut
+   through shared memory.
+
+   Both tiers are independently toggleable, which is exactly the Figure 12
+   ablation: no batching at all (every message is a packet and pays a
+   syscall), TLC only (each flush is a packet), or TLC + NLC (full system).
+
+   [send] and [flush_worker] return the CPU time the *calling worker*
+   spent, which the engine adds to that worker's busy time. *)
+
+type config = {
+  tlc : bool;
+  nlc : bool;
+  flush_bytes : int;
+  nlc_window : Sim_time.t;
+}
+
+let default_config = { tlc = true; nlc = true; flush_bytes = 8192; nlc_window = Sim_time.us 3 }
+
+let no_batching = { default_config with tlc = false; nlc = false }
+let tlc_only = { default_config with nlc = false }
+
+type 'a message = {
+  dst_worker : int;
+  payload : 'a;
+  bytes : int;
+}
+
+type 'a t = {
+  cluster : Cluster.t;
+  config : config;
+  deliver : int -> 'a -> unit; (* dst worker, payload; runs at arrival time *)
+  buffers : 'a message Vec.t array array; (* tier 1: [worker].(dst_node) *)
+  buffer_bytes : int array array;
+  pending : 'a message Vec.t array array; (* tier 2: [src_node].(dst_node) *)
+  pending_bytes : int array array;
+  window_open : bool array array;
+}
+
+let create cluster config ~dummy ~deliver =
+  let n_workers = Cluster.n_workers cluster in
+  let n_nodes = Cluster.n_nodes cluster in
+  let dummy_message = { dst_worker = -1; payload = dummy; bytes = 0 } in
+  let buffer_matrix rows =
+    Array.init rows (fun _ -> Array.init n_nodes (fun _ -> Vec.create ~dummy:dummy_message))
+  in
+  {
+    cluster;
+    config;
+    deliver;
+    buffers = buffer_matrix n_workers;
+    buffer_bytes = Array.make_matrix n_workers n_nodes 0;
+    pending = buffer_matrix n_nodes;
+    pending_bytes = Array.make_matrix n_nodes n_nodes 0;
+    window_open = Array.make_matrix n_nodes n_nodes false;
+  }
+
+let config t = t.config
+
+let costs t = Cluster.costs t.cluster
+
+(* Hand a list of messages to the destination node: charge per-message
+   receive cost is the engine's business; here we just run [deliver] for
+   each at arrival order. *)
+let deliver_all t messages = Vec.iter (fun m -> t.deliver m.dst_worker m.payload) messages
+
+let emit_packet t ~at ~src_node ~dst_node messages bytes =
+  Cluster.send_packet t.cluster ~at ~src_node ~dst_node ~bytes (fun () ->
+      deliver_all t messages)
+
+(* Tier-2 entry: either open/extend an NLC window or emit immediately. *)
+let to_combiner t ~at ~src_node ~dst_node messages bytes =
+  Metrics.count_flush (Cluster.metrics t.cluster);
+  if t.config.nlc then begin
+    let pending = t.pending.(src_node).(dst_node) in
+    Vec.append ~into:pending messages;
+    t.pending_bytes.(src_node).(dst_node) <- t.pending_bytes.(src_node).(dst_node) + bytes;
+    if not t.window_open.(src_node).(dst_node) then begin
+      t.window_open.(src_node).(dst_node) <- true;
+      let fire_at = Sim_time.add (max at (Cluster.now t.cluster)) t.config.nlc_window in
+      Event_queue.schedule_at (Cluster.events t.cluster) ~time:fire_at (fun () ->
+          t.window_open.(src_node).(dst_node) <- false;
+          let batch = t.pending.(src_node).(dst_node) in
+          if not (Vec.is_empty batch) then begin
+            let copy = Vec.of_array ~dummy:(Vec.get batch 0) (Vec.to_array batch) in
+            let batch_bytes = t.pending_bytes.(src_node).(dst_node) in
+            Vec.clear batch;
+            t.pending_bytes.(src_node).(dst_node) <- 0;
+            emit_packet t ~at:fire_at ~src_node ~dst_node copy batch_bytes
+          end)
+    end
+  end
+  else emit_packet t ~at ~src_node ~dst_node messages bytes
+
+let has_buffered t ~worker =
+  Array.exists (fun buffer -> not (Vec.is_empty buffer)) t.buffers.(worker)
+
+let flush_buffer t ~at ~worker ~dst_node =
+  let buffer = t.buffers.(worker).(dst_node) in
+  if Vec.is_empty buffer then Sim_time.zero
+  else begin
+    let messages = Vec.of_array ~dummy:(Vec.get buffer 0) (Vec.to_array buffer) in
+    let bytes = t.buffer_bytes.(worker).(dst_node) in
+    Vec.clear buffer;
+    t.buffer_bytes.(worker).(dst_node) <- 0;
+    let src_node = Cluster.node_of_worker t.cluster worker in
+    to_combiner t ~at ~src_node ~dst_node messages bytes;
+    (costs t).Cluster.flush_handoff
+  end
+
+(* Send one message; returns the sender's CPU cost. *)
+let send t ~at ~src_worker ~dst_worker ~kind ~bytes payload =
+  let metrics = Cluster.metrics t.cluster in
+  if Cluster.same_node t.cluster src_worker dst_worker then begin
+    (* Shared-memory shortcut: no NIC, no batching. *)
+    Metrics.count_message metrics kind bytes;
+    Cluster.send_local t.cluster ~at (fun () -> t.deliver dst_worker payload);
+    (costs t).Cluster.buffer_append
+  end
+  else begin
+    Metrics.count_message metrics kind bytes;
+    let dst_node = Cluster.node_of_worker t.cluster dst_worker in
+    let message = { dst_worker; payload; bytes } in
+    if t.config.tlc then begin
+      let buffer = t.buffers.(src_worker).(dst_node) in
+      Vec.push buffer message;
+      t.buffer_bytes.(src_worker).(dst_node) <- t.buffer_bytes.(src_worker).(dst_node) + bytes;
+      let append_cost = (costs t).Cluster.buffer_append in
+      if t.buffer_bytes.(src_worker).(dst_node) >= t.config.flush_bytes then
+        Sim_time.add append_cost (flush_buffer t ~at ~worker:src_worker ~dst_node)
+      else append_cost
+    end
+    else begin
+      (* No batching: the message is its own packet and pays a syscall. *)
+      Metrics.count_flush metrics;
+      let src_node = Cluster.node_of_worker t.cluster src_worker in
+      let singleton = Vec.of_array ~dummy:message [| message |] in
+      emit_packet t ~at ~src_node ~dst_node singleton bytes;
+      (costs t).Cluster.direct_send
+    end
+  end
+
+(* Flush every buffer of [worker] — called before the worker sleeps, as in
+   §IV-B ("if there are no more traversers ready ... flush all buffers"). *)
+let flush_worker t ~at ~worker =
+  let total = ref Sim_time.zero in
+  Array.iteri
+    (fun dst_node _ -> total := Sim_time.add !total (flush_buffer t ~at ~worker ~dst_node))
+    t.buffers.(worker);
+  !total

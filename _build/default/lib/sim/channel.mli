@@ -1,0 +1,51 @@
+(** Two-tier message-passing channel (§IV-B).
+
+    Tier 1: per-worker per-destination-node buffers flushing at a byte
+    threshold or when the worker idles (thread-level combining, TLC).
+    Tier 2: per-node combining of concurrent flushes to the same
+    destination into one packet (node-level combining, NLC). Same-node
+    messages bypass both tiers via shared memory. Each tier toggles
+    independently for the Figure 12 ablation. *)
+
+type config = {
+  tlc : bool;
+  nlc : bool;
+  flush_bytes : int; (** tier-1 flush threshold; 8 KB in the paper *)
+  nlc_window : Sim_time.t; (** tier-2 combining window *)
+}
+
+(** Full system: TLC + NLC, 8 KB threshold. *)
+val default_config : config
+
+(** Every message is a packet (the Figure 12 baseline). *)
+val no_batching : config
+
+(** Thread-level combining without node-level combining. *)
+val tlc_only : config
+
+type 'a t
+
+(** [create cluster config ~dummy ~deliver] — [deliver dst_worker payload]
+    runs at simulated arrival time for every message. *)
+val create : Cluster.t -> config -> dummy:'a -> deliver:(int -> 'a -> unit) -> 'a t
+
+val config : 'a t -> config
+
+(** Send one message at logical time [at]; returns the CPU time the
+    sending worker spent (append, flush hand-off or syscall). *)
+val send :
+  'a t ->
+  at:Sim_time.t ->
+  src_worker:int ->
+  dst_worker:int ->
+  kind:Metrics.msg_kind ->
+  bytes:int ->
+  'a ->
+  Sim_time.t
+
+(** Whether any tier-1 buffer of the worker holds messages. *)
+val has_buffered : 'a t -> worker:int -> bool
+
+(** Flush all tier-1 buffers of a worker (called before it sleeps);
+    returns the CPU time spent. *)
+val flush_worker : 'a t -> at:Sim_time.t -> worker:int -> Sim_time.t

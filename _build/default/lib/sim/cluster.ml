@@ -1,0 +1,101 @@
+(* Simulated cluster: topology, CPU cost model and NIC resources.
+
+   The cluster mirrors the paper's testbed shape — [n_nodes] machines, each
+   running [workers_per_node] single-threaded workers (one graph partition
+   per worker, §IV). CPU work is charged from the [costs] table; outgoing
+   packets serialize through a per-node NIC whose occupancy models both
+   bandwidth and packet-rate limits. *)
+
+type costs = {
+  step_dispatch : Sim_time.t; (* per traverser step: dequeue + dispatch *)
+  per_edge : Sim_time.t; (* adjacency-scan cost per edge *)
+  per_property : Sim_time.t; (* property column read *)
+  memo_op : Sim_time.t; (* memo hash probe or update *)
+  progress_add : Sim_time.t; (* one weight addition (§IV-A: one integer add) *)
+  progress_coalesce : Sim_time.t; (* hash-merge of a finished weight into the local memo *)
+  buffer_append : Sim_time.t; (* tier-1 append under TLC *)
+  flush_handoff : Sim_time.t; (* worker-to-network-thread synchronization *)
+  direct_send : Sim_time.t; (* per-message syscall without TLC *)
+  recv_message : Sim_time.t; (* deserialize one incoming message *)
+  latch : Sim_time.t; (* base latch cost in the non-partitioned model *)
+  barrier : Sim_time.t; (* BSP global barrier fixed cost *)
+  operator_sched : Sim_time.t; (* dataflow per-operator scheduling overhead *)
+}
+
+let default_costs =
+  {
+    step_dispatch = Sim_time.ns 60;
+    per_edge = Sim_time.ns 6;
+    per_property = Sim_time.ns 12;
+    memo_op = Sim_time.ns 45;
+    progress_add = Sim_time.ns 3;
+    progress_coalesce = Sim_time.ns 10;
+    buffer_append = Sim_time.ns 18;
+    flush_handoff = Sim_time.ns 350;
+    direct_send = Sim_time.ns 1_800;
+    recv_message = Sim_time.ns 25;
+    latch = Sim_time.ns 110;
+    barrier = Sim_time.us 40;
+    operator_sched = Sim_time.ns 90;
+  }
+
+type config = {
+  n_nodes : int;
+  workers_per_node : int;
+  net : Netmodel.t;
+  costs : costs;
+}
+
+let default_config =
+  { n_nodes = 8; workers_per_node = 16; net = Netmodel.default; costs = default_costs }
+
+type t = {
+  config : config;
+  events : Event_queue.t;
+  metrics : Metrics.t;
+  nic_busy : Sim_time.t array; (* per-node NIC free-at time *)
+}
+
+let create config =
+  if config.n_nodes <= 0 || config.workers_per_node <= 0 then
+    invalid_arg "Cluster.create: need at least one node and one worker";
+  {
+    config;
+    events = Event_queue.create ();
+    metrics = Metrics.create ();
+    nic_busy = Array.make config.n_nodes Sim_time.zero;
+  }
+
+let config t = t.config
+let events t = t.events
+let metrics t = t.metrics
+let costs t = t.config.costs
+let net t = t.config.net
+let n_nodes t = t.config.n_nodes
+let n_workers t = t.config.n_nodes * t.config.workers_per_node
+let node_of_worker t w = w / t.config.workers_per_node
+let same_node t w1 w2 = node_of_worker t w1 = node_of_worker t w2
+let now t = Event_queue.now t.events
+
+let workers_of_node t node =
+  Array.init t.config.workers_per_node (fun i -> (node * t.config.workers_per_node) + i)
+
+(* Serialize a packet through the source node's NIC and invoke [arrive] at
+   the destination-side arrival time. [at] is the logical hand-off time
+   (>= now modulo in-quantum skew, which we clamp). *)
+let send_packet t ~at ~src_node ~dst_node ~bytes arrive =
+  assert (src_node <> dst_node);
+  let at = max at (now t) in
+  let start = max at t.nic_busy.(src_node) in
+  let occupancy = Netmodel.nic_occupancy t.config.net ~bytes in
+  t.nic_busy.(src_node) <- Sim_time.add start occupancy;
+  Metrics.count_packet t.metrics bytes;
+  let arrival = Sim_time.add (Sim_time.add start occupancy) t.config.net.Netmodel.wire_latency in
+  Event_queue.schedule_at t.events ~time:arrival arrive
+
+(* Same-node shared-memory handoff (the §IV-B shortcut). *)
+let send_local t ~at arrive =
+  let at = max at (now t) in
+  Metrics.count_local_message t.metrics;
+  let arrival = Sim_time.add at t.config.net.Netmodel.shm_latency in
+  Event_queue.schedule_at t.events ~time:arrival arrive

@@ -1,0 +1,52 @@
+(** Simulated cluster: topology, CPU cost table and per-node NIC resources. *)
+
+type costs = {
+  step_dispatch : Sim_time.t;
+  per_edge : Sim_time.t;
+  per_property : Sim_time.t;
+  memo_op : Sim_time.t;
+  progress_add : Sim_time.t;
+  progress_coalesce : Sim_time.t;
+  buffer_append : Sim_time.t;
+  flush_handoff : Sim_time.t;
+  direct_send : Sim_time.t;
+  recv_message : Sim_time.t;
+  latch : Sim_time.t;
+  barrier : Sim_time.t;
+  operator_sched : Sim_time.t;
+}
+
+val default_costs : costs
+
+type config = {
+  n_nodes : int;
+  workers_per_node : int;
+  net : Netmodel.t;
+  costs : costs;
+}
+
+(** The paper's testbed shape: 8 nodes, 16 workers each, 200 Gbps. *)
+val default_config : config
+
+type t
+
+val create : config -> t
+val config : t -> config
+val events : t -> Event_queue.t
+val metrics : t -> Metrics.t
+val costs : t -> costs
+val net : t -> Netmodel.t
+val n_nodes : t -> int
+val n_workers : t -> int
+val node_of_worker : t -> int -> int
+val same_node : t -> int -> int -> bool
+val now : t -> Sim_time.t
+val workers_of_node : t -> int -> int array
+
+(** Serialize a packet through the source NIC; [arrive] fires at the
+    destination at the computed arrival time. *)
+val send_packet :
+  t -> at:Sim_time.t -> src_node:int -> dst_node:int -> bytes:int -> (unit -> unit) -> unit
+
+(** Same-node shared-memory handoff. *)
+val send_local : t -> at:Sim_time.t -> (unit -> unit) -> unit

@@ -1,0 +1,75 @@
+(* Discrete-event scheduler.
+
+   A binary heap of (time, sequence, thunk); the sequence number breaks
+   ties in schedule order, which makes whole-cluster simulations fully
+   deterministic. Engines drive the simulation by scheduling closures and
+   calling [run_to_completion]. *)
+
+type entry = {
+  time : Sim_time.t;
+  seq : int;
+  action : unit -> unit;
+}
+
+type t = {
+  heap : entry Heap.t;
+  mutable now : Sim_time.t;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let dummy_entry = { time = 0; seq = 0; action = ignore }
+
+let compare_entry a b =
+  let c = Sim_time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { heap = Heap.create ~cmp:compare_entry ~dummy:dummy_entry; now = 0; next_seq = 0; executed = 0 }
+
+let now t = t.now
+
+let executed t = t.executed
+
+let pending t = Heap.length t.heap
+
+let schedule_at t ~time action =
+  if Sim_time.compare time t.now < 0 then
+    invalid_arg
+      (Fmt.str "Event_queue.schedule_at: time %a is in the past (now %a)" Sim_time.pp time
+         Sim_time.pp t.now);
+  Heap.push t.heap { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t ~delay action = schedule_at t ~time:(Sim_time.add t.now delay) action
+
+let step t =
+  match Heap.pop_opt t.heap with
+  | None -> false
+  | Some entry ->
+    t.now <- entry.time;
+    t.executed <- t.executed + 1;
+    entry.action ();
+    true
+
+(* Runs until the queue drains. [max_events] guards against engines that
+   accidentally schedule forever. *)
+let run_to_completion ?(max_events = 2_000_000_000) t =
+  let budget = ref max_events in
+  while step t do
+    decr budget;
+    if !budget <= 0 then failwith "Event_queue.run_to_completion: event budget exhausted"
+  done
+
+let run_until t ~time =
+  let continue = ref true in
+  while
+    !continue
+    &&
+    match Heap.peek t.heap with
+    | Some entry when Sim_time.compare entry.time time <= 0 -> true
+    | _ -> false
+  do
+    continue := step t
+  done;
+  if Sim_time.compare t.now time < 0 then t.now <- time

@@ -1,0 +1,29 @@
+(** Deterministic discrete-event scheduler. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time; advances only while running events. *)
+val now : t -> Sim_time.t
+
+(** Number of events executed so far. *)
+val executed : t -> int
+
+(** Number of events still scheduled. *)
+val pending : t -> int
+
+(** Schedule a closure; raises if [time] is before [now]. Events at equal
+    times fire in schedule order. *)
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> unit
+
+val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+
+(** Execute the next event; [false] when the queue is empty. *)
+val step : t -> bool
+
+(** Drain the queue; raises if [max_events] is exceeded. *)
+val run_to_completion : ?max_events:int -> t -> unit
+
+(** Run all events up to and including [time], then set the clock there. *)
+val run_until : t -> time:Sim_time.t -> unit

@@ -1,0 +1,118 @@
+(* Run metrics.
+
+   Figure 11 of the paper counts progress-tracking messages against other
+   message types with and without weight coalescing, so messages are
+   counted by kind at the channel layer. The remaining counters feed the
+   performance-breakdown discussions (packets sent, flushes, traverser
+   steps executed, superstep count for the BSP engine). *)
+
+type msg_kind =
+  | Traverser_msg (* a traverser migrating to a remote partition *)
+  | Progress_msg (* finished weight reported to the progress tracker *)
+  | Control_msg (* barriers, subquery start/finish, aggregation pulls *)
+  | Result_msg (* result rows returned to the query coordinator *)
+
+let all_kinds = [ Traverser_msg; Progress_msg; Control_msg; Result_msg ]
+
+let kind_name = function
+  | Traverser_msg -> "traverser"
+  | Progress_msg -> "progress"
+  | Control_msg -> "control"
+  | Result_msg -> "result"
+
+let kind_index = function
+  | Traverser_msg -> 0
+  | Progress_msg -> 1
+  | Control_msg -> 2
+  | Result_msg -> 3
+
+type t = {
+  messages : int array; (* by kind *)
+  bytes : int array; (* by kind *)
+  mutable packets : int;
+  mutable packet_bytes : int;
+  mutable local_messages : int; (* same-node shared-memory shortcut *)
+  mutable flushes : int; (* worker buffer flushes *)
+  mutable steps : int; (* traverser steps executed *)
+  mutable edges_scanned : int; (* adjacency positions examined *)
+  mutable spawned : int; (* traversers created *)
+  mutable memo_ops : int;
+  mutable supersteps : int; (* BSP only *)
+  mutable tracker_updates : int; (* weight receipts at the progress tracker *)
+  mutable busy_ns : int; (* total worker CPU time consumed *)
+}
+
+let create () =
+  {
+    messages = Array.make 4 0;
+    bytes = Array.make 4 0;
+    packets = 0;
+    packet_bytes = 0;
+    local_messages = 0;
+    flushes = 0;
+    steps = 0;
+    edges_scanned = 0;
+    spawned = 0;
+    memo_ops = 0;
+    supersteps = 0;
+    tracker_updates = 0;
+    busy_ns = 0;
+  }
+
+let reset t =
+  Array.fill t.messages 0 4 0;
+  Array.fill t.bytes 0 4 0;
+  t.packets <- 0;
+  t.packet_bytes <- 0;
+  t.local_messages <- 0;
+  t.flushes <- 0;
+  t.steps <- 0;
+  t.edges_scanned <- 0;
+  t.spawned <- 0;
+  t.memo_ops <- 0;
+  t.supersteps <- 0;
+  t.tracker_updates <- 0;
+  t.busy_ns <- 0
+
+let count_message t kind bytes =
+  let i = kind_index kind in
+  t.messages.(i) <- t.messages.(i) + 1;
+  t.bytes.(i) <- t.bytes.(i) + bytes
+
+let count_local_message t = t.local_messages <- t.local_messages + 1
+
+let count_packet t bytes =
+  t.packets <- t.packets + 1;
+  t.packet_bytes <- t.packet_bytes + bytes
+
+let count_flush t = t.flushes <- t.flushes + 1
+let count_step t = t.steps <- t.steps + 1
+let count_edges t n = t.edges_scanned <- t.edges_scanned + n
+let count_spawn t = t.spawned <- t.spawned + 1
+let count_memo_op t = t.memo_ops <- t.memo_ops + 1
+let count_superstep t = t.supersteps <- t.supersteps + 1
+let count_tracker_update t = t.tracker_updates <- t.tracker_updates + 1
+let count_busy t ns = t.busy_ns <- t.busy_ns + ns
+
+let messages t kind = t.messages.(kind_index kind)
+let message_bytes t kind = t.bytes.(kind_index kind)
+let total_messages t = Array.fold_left ( + ) 0 t.messages
+let packets t = t.packets
+let packet_bytes t = t.packet_bytes
+let local_messages t = t.local_messages
+let flushes t = t.flushes
+let steps t = t.steps
+let edges_scanned t = t.edges_scanned
+let spawned t = t.spawned
+let memo_ops t = t.memo_ops
+let supersteps t = t.supersteps
+let tracker_updates t = t.tracker_updates
+let busy_ns t = t.busy_ns
+
+let pp ppf t =
+  Fmt.pf ppf "steps=%d spawned=%d packets=%d local=%d" t.steps t.spawned t.packets
+    t.local_messages;
+  List.iter
+    (fun kind ->
+      Fmt.pf ppf " %s=%d" (kind_name kind) (messages t kind))
+    all_kinds

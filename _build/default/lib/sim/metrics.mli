@@ -1,0 +1,42 @@
+(** Per-run counters: messages by kind (Figure 11), packets, steps,
+    supersteps, tracker load. *)
+
+type msg_kind =
+  | Traverser_msg
+  | Progress_msg
+  | Control_msg
+  | Result_msg
+
+val all_kinds : msg_kind list
+val kind_name : msg_kind -> string
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val count_message : t -> msg_kind -> int -> unit
+val count_local_message : t -> unit
+val count_packet : t -> int -> unit
+val count_flush : t -> unit
+val count_step : t -> unit
+val count_edges : t -> int -> unit
+val count_spawn : t -> unit
+val count_memo_op : t -> unit
+val count_superstep : t -> unit
+val count_tracker_update : t -> unit
+val count_busy : t -> int -> unit
+val messages : t -> msg_kind -> int
+val message_bytes : t -> msg_kind -> int
+val total_messages : t -> int
+val packets : t -> int
+val packet_bytes : t -> int
+val local_messages : t -> int
+val flushes : t -> int
+val steps : t -> int
+val edges_scanned : t -> int
+val spawned : t -> int
+val memo_ops : t -> int
+val supersteps : t -> int
+val tracker_updates : t -> int
+val busy_ns : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/txn/txn_graph.ml: Fmt Hashtbl List Lock_table Option Schema Tel Txn_manager Value Vec

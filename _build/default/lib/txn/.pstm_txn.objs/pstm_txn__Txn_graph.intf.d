@@ -1,0 +1,1 @@
+lib/txn/txn_graph.mli: Lock_table Schema Txn_manager Value

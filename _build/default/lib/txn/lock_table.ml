@@ -1,0 +1,79 @@
+(* MV2PL lock table (§IV-C).
+
+   Update transactions acquire shared/exclusive locks on vertices and hold
+   them to commit (strict 2PL); read-only queries never touch this table —
+   they read a consistent multi-version snapshot at the LCT instead, which
+   is exactly why MV2PL never blocks them. Conflicts are resolved no-wait:
+   the requester is told to abort, avoiding deadlock detection entirely. *)
+
+type mode =
+  | Shared
+  | Exclusive
+
+type holder = {
+  txn : int;
+  mode : mode;
+}
+
+type t = {
+  locks : (int, holder list) Hashtbl.t; (* vertex -> current holders *)
+  held : (int, int list) Hashtbl.t; (* txn -> locked vertices *)
+  mutable acquisitions : int;
+  mutable conflicts : int;
+}
+
+let create () =
+  { locks = Hashtbl.create 256; held = Hashtbl.create 64; acquisitions = 0; conflicts = 0 }
+
+let acquisitions t = t.acquisitions
+let conflicts t = t.conflicts
+
+let compatible requested holders ~txn =
+  List.for_all
+    (fun h ->
+      h.txn = txn (* re-entrant; upgrades handled below *)
+      || (h.mode = Shared && requested = Shared))
+    holders
+
+type verdict =
+  | Granted
+  | Conflict
+
+let acquire t ~txn ~vertex mode =
+  t.acquisitions <- t.acquisitions + 1;
+  let holders = Option.value ~default:[] (Hashtbl.find_opt t.locks vertex) in
+  if not (compatible mode holders ~txn) then begin
+    t.conflicts <- t.conflicts + 1;
+    Conflict
+  end
+  else begin
+    let mine, others = List.partition (fun h -> h.txn = txn) holders in
+    let merged_mode =
+      match mine with
+      | { mode = Exclusive; _ } :: _ -> Exclusive
+      | _ -> mode
+    in
+    Hashtbl.replace t.locks vertex ({ txn; mode = merged_mode } :: others);
+    if mine = [] then
+      Hashtbl.replace t.held txn (vertex :: Option.value ~default:[] (Hashtbl.find_opt t.held txn));
+    Granted
+  end
+
+let release_all t ~txn =
+  let vertices = Option.value ~default:[] (Hashtbl.find_opt t.held txn) in
+  List.iter
+    (fun vertex ->
+      match Hashtbl.find_opt t.locks vertex with
+      | None -> ()
+      | Some holders ->
+        (match List.filter (fun h -> h.txn <> txn) holders with
+        | [] -> Hashtbl.remove t.locks vertex
+        | rest -> Hashtbl.replace t.locks vertex rest))
+    vertices;
+  Hashtbl.remove t.held txn
+
+let holds t ~txn ~vertex =
+  match Hashtbl.find_opt t.locks vertex with
+  | None -> None
+  | Some holders ->
+    List.find_opt (fun h -> h.txn = txn) holders |> Option.map (fun h -> h.mode)

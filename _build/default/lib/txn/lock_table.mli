@@ -1,0 +1,25 @@
+(** MV2PL lock table: strict two-phase locking for update transactions,
+    no-wait conflict resolution. Read-only queries bypass it entirely. *)
+
+type mode =
+  | Shared
+  | Exclusive
+
+type t
+
+val create : unit -> t
+val acquisitions : t -> int
+val conflicts : t -> int
+
+type verdict =
+  | Granted
+  | Conflict
+
+(** Acquire (or upgrade) a lock; [Conflict] means the caller must abort. *)
+val acquire : t -> txn:int -> vertex:int -> mode -> verdict
+
+(** Release every lock of a finished transaction. *)
+val release_all : t -> txn:int -> unit
+
+(** Lock currently held by [txn] on [vertex], if any. *)
+val holds : t -> txn:int -> vertex:int -> mode option

@@ -1,0 +1,168 @@
+(* Transactional edge log (§IV-C), after LiveGraph's TEL design.
+
+   Each vertex owns an append-only log of edge entries carrying creation
+   and deletion timestamps. A reader at snapshot timestamp [ts] performs
+   one purely sequential scan and keeps entries with
+
+     created <= ts < deleted
+
+   — no random version-chain chasing, which is the property the paper
+   borrows TEL for. Deletion writes a tombstone timestamp into the live
+   entry rather than removing it; [compact] reclaims dead entries below a
+   watermark, and [truncate_after] implements the §IV-C recovery rule
+   (drop every version newer than the last commit timestamp). *)
+
+type entry = {
+  dst : int;
+  label : int;
+  created : int;
+  mutable deleted : int; (* max_int while live *)
+}
+
+type t = {
+  mutable logs : entry Vec.t array;
+  mutable n_vertices : int;
+}
+
+let live = max_int
+
+let dummy_entry = { dst = -1; label = -1; created = 0; deleted = 0 }
+
+let create ?(n_vertices = 0) () =
+  let t = { logs = [||]; n_vertices = 0 } in
+  let grown = Array.init (max n_vertices 16) (fun _ -> Vec.create ~dummy:dummy_entry) in
+  t.logs <- grown;
+  t.n_vertices <- n_vertices;
+  t
+
+let n_vertices t = t.n_vertices
+
+let ensure_vertex t v =
+  if v >= Array.length t.logs then begin
+    let grown =
+      Array.init (max (v + 1) (2 * Array.length t.logs)) (fun i ->
+          if i < Array.length t.logs then t.logs.(i) else Vec.create ~dummy:dummy_entry)
+    in
+    t.logs <- grown
+  end;
+  if v >= t.n_vertices then t.n_vertices <- v + 1
+
+let add_vertex t =
+  let v = t.n_vertices in
+  ensure_vertex t v;
+  v
+
+let check_vertex t v =
+  if v < 0 || v >= t.n_vertices then invalid_arg "Tel: vertex out of range"
+
+let insert_edge t ~src ~label ~dst ~ts =
+  check_vertex t src;
+  check_vertex t dst;
+  Vec.push t.logs.(src) { dst; label; created = ts; deleted = live }
+
+(* Tombstone the most recent visible matching entry; [false] when there is
+   no such edge at [ts]. *)
+let delete_edge t ~src ~label ~dst ~ts =
+  check_vertex t src;
+  let log = t.logs.(src) in
+  let found = ref false in
+  (* Scan from the tail: the latest version is the one to kill. *)
+  let i = ref (Vec.length log - 1) in
+  while (not !found) && !i >= 0 do
+    let e = Vec.get log !i in
+    if e.dst = dst && e.label = label && e.created <= ts && ts < e.deleted then begin
+      e.deleted <- ts;
+      found := true
+    end;
+    decr i
+  done;
+  !found
+
+(* Roll back an uncommitted insert: drop the entry created at exactly
+   [ts]. Scans from the tail, where a young entry lives. *)
+let rollback_insert t ~src ~label ~dst ~ts =
+  check_vertex t src;
+  let log = t.logs.(src) in
+  let found = ref false in
+  let i = ref (Vec.length log - 1) in
+  while (not !found) && !i >= 0 do
+    let e = Vec.get log !i in
+    if e.dst = dst && e.label = label && e.created = ts then begin
+      ignore (Vec.swap_remove log !i);
+      found := true
+    end;
+    decr i
+  done;
+  !found
+
+(* Roll back an uncommitted delete: clear the tombstone written at [ts]. *)
+let rollback_delete t ~src ~label ~dst ~ts =
+  check_vertex t src;
+  let log = t.logs.(src) in
+  let found = ref false in
+  let i = ref (Vec.length log - 1) in
+  while (not !found) && !i >= 0 do
+    let e = Vec.get log !i in
+    if e.dst = dst && e.label = label && e.deleted = ts then begin
+      e.deleted <- live;
+      found := true
+    end;
+    decr i
+  done;
+  !found
+
+(* Single sequential scan of the visible adjacency at snapshot [ts]. *)
+let scan t ~src ~ts f =
+  check_vertex t src;
+  Vec.iter (fun e -> if e.created <= ts && ts < e.deleted then f ~dst:e.dst ~label:e.label) t.logs.(src)
+
+let degree t ~src ~ts =
+  let n = ref 0 in
+  scan t ~src ~ts (fun ~dst:_ ~label:_ -> incr n);
+  !n
+
+let edge_exists t ~src ~label ~dst ~ts =
+  let found = ref false in
+  scan t ~src ~ts (fun ~dst:d ~label:l -> if d = dst && l = label then found := true);
+  !found
+
+(* Log length including dead entries (compaction telemetry). *)
+let log_length t ~src =
+  check_vertex t src;
+  Vec.length t.logs.(src)
+
+(* Drop entries deleted at or before the watermark (no reader can see
+   them anymore). *)
+let compact t ~watermark =
+  let reclaimed = ref 0 in
+  Array.iteri
+    (fun v log ->
+      if v < t.n_vertices then begin
+        let keep = Vec.create ~dummy:dummy_entry in
+        Vec.iter (fun e -> if e.deleted > watermark then Vec.push keep e else incr reclaimed) log;
+        t.logs.(v) <- keep
+      end)
+    t.logs;
+  !reclaimed
+
+(* Recovery (§IV-C): remove every version with a timestamp newer than the
+   last commit timestamp, resurrecting entries whose deletion was not yet
+   committed. *)
+let truncate_after t ~lct =
+  let removed = ref 0 in
+  Array.iteri
+    (fun v log ->
+      if v < t.n_vertices then begin
+        let keep = Vec.create ~dummy:dummy_entry in
+        Vec.iter
+          (fun e ->
+            if e.created > lct then incr removed
+            else begin
+              if e.deleted <> live && e.deleted > lct then e.deleted <- live;
+              Vec.push keep e
+            end)
+          log;
+        t.logs.(v) <- keep
+      end)
+    t.logs;
+  !removed

@@ -1,0 +1,39 @@
+(** Transactional edge log: multi-version adjacency with embedded
+    creation/deletion timestamps, readable in one sequential scan
+    (LiveGraph-style, §IV-C). *)
+
+type t
+
+val create : ?n_vertices:int -> unit -> t
+val n_vertices : t -> int
+
+(** Append a fresh vertex; returns its id. *)
+val add_vertex : t -> int
+
+val insert_edge : t -> src:int -> label:int -> dst:int -> ts:int -> unit
+
+(** Tombstone the latest visible matching edge; [false] if none visible. *)
+val delete_edge : t -> src:int -> label:int -> dst:int -> ts:int -> bool
+
+(** Undo an uncommitted insert (entry created at exactly [ts]). *)
+val rollback_insert : t -> src:int -> label:int -> dst:int -> ts:int -> bool
+
+(** Undo an uncommitted delete (tombstone written at exactly [ts]). *)
+val rollback_delete : t -> src:int -> label:int -> dst:int -> ts:int -> bool
+
+(** Visit the adjacency visible at snapshot [ts]. *)
+val scan : t -> src:int -> ts:int -> (dst:int -> label:int -> unit) -> unit
+
+val degree : t -> src:int -> ts:int -> int
+val edge_exists : t -> src:int -> label:int -> dst:int -> ts:int -> bool
+
+(** Physical log length including dead versions. *)
+val log_length : t -> src:int -> int
+
+(** Reclaim entries invisible to every snapshot above [watermark];
+    returns the number reclaimed. *)
+val compact : t -> watermark:int -> int
+
+(** Crash recovery: drop versions newer than the last commit timestamp;
+    returns the number of entries removed. *)
+val truncate_after : t -> lct:int -> int

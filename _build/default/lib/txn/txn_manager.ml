@@ -1,0 +1,83 @@
+(* Centralized transaction manager (§IV-C).
+
+   Assigns commit timestamps to update transactions and maintains the
+   last commit timestamp (LCT): the timestamp below which every
+   transaction has committed. The LCT is broadcast to all worker nodes so
+   a read-only query can pick up its snapshot timestamp from any node
+   without a round trip to the manager — [node_lct] models the (slightly
+   stale) per-node copies. *)
+
+type status =
+  | Active
+  | Committed
+  | Aborted
+
+type t = {
+  mutable next_ts : int;
+  mutable lct : int;
+  statuses : (int, status) Hashtbl.t; (* ts -> status, for active window *)
+  node_lct : int array; (* broadcast copies, possibly stale *)
+  mutable started : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create ~n_nodes =
+  {
+    next_ts = 1;
+    lct = 0;
+    statuses = Hashtbl.create 64;
+    node_lct = Array.make (max 1 n_nodes) 0;
+    started = 0;
+    committed = 0;
+    aborted = 0;
+  }
+
+let lct t = t.lct
+let started t = t.started
+let committed t = t.committed
+let aborted t = t.aborted
+
+(* Snapshot timestamp for a read-only query arriving at [node]: the
+   node-local LCT copy, no manager round trip. *)
+let read_timestamp t ~node = t.node_lct.(node)
+
+let broadcast t = Array.fill t.node_lct 0 (Array.length t.node_lct) t.lct
+
+let begin_update t =
+  let ts = t.next_ts in
+  t.next_ts <- ts + 1;
+  t.started <- t.started + 1;
+  Hashtbl.replace t.statuses ts Active;
+  ts
+
+(* Advance the LCT over the longest committed prefix. *)
+let advance t =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.statuses (t.lct + 1) with
+    | Some Committed ->
+      Hashtbl.remove t.statuses (t.lct + 1);
+      t.lct <- t.lct + 1
+    | Some Aborted ->
+      (* Aborted slots are skipped: their effects were rolled back. *)
+      Hashtbl.remove t.statuses (t.lct + 1);
+      t.lct <- t.lct + 1
+    | Some Active | None -> continue := false
+  done
+
+let commit t ~ts =
+  (match Hashtbl.find_opt t.statuses ts with
+  | Some Active -> Hashtbl.replace t.statuses ts Committed
+  | _ -> invalid_arg "Txn_manager.commit: not an active transaction");
+  t.committed <- t.committed + 1;
+  advance t;
+  broadcast t
+
+let abort t ~ts =
+  (match Hashtbl.find_opt t.statuses ts with
+  | Some Active -> Hashtbl.replace t.statuses ts Aborted
+  | _ -> invalid_arg "Txn_manager.abort: not an active transaction");
+  t.aborted <- t.aborted + 1;
+  advance t;
+  broadcast t

@@ -1,0 +1,18 @@
+(** Centralized transaction manager with last-commit-timestamp (LCT)
+    broadcast: update transactions get timestamps here; read-only queries
+    take their snapshot from any node's LCT copy. *)
+
+type t
+
+val create : n_nodes:int -> t
+val lct : t -> int
+
+(** Snapshot timestamp visible at a node (its broadcast LCT copy). *)
+val read_timestamp : t -> node:int -> int
+
+val begin_update : t -> int
+val commit : t -> ts:int -> unit
+val abort : t -> ts:int -> unit
+val started : t -> int
+val committed : t -> int
+val aborted : t -> int

@@ -1,0 +1,58 @@
+(* Fixed-capacity bitset over [0, n).
+
+   Backing store is an int array (63 usable bits per word). Used for
+   visited-vertex tracking in the reference interpreter and in the BSP
+   engine's per-superstep frontier deduplication. *)
+
+type t = { words : int array; capacity : int }
+
+let bits_per_word = Sys.int_size
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((capacity + bits_per_word - 1) / bits_per_word) 0; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+(* Set the bit and report whether it was previously clear: the common
+   test-and-set idiom of deduplication. *)
+let add_if_absent t i =
+  check t i;
+  let w = i / bits_per_word in
+  let mask = 1 lsl (i mod bits_per_word) in
+  if t.words.(w) land mask = 0 then begin
+    t.words.(w) <- t.words.(w) lor mask;
+    true
+  end
+  else false
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let count t =
+  let popcount x =
+    let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+    loop x 0
+  in
+  Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done

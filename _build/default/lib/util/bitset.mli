@@ -1,0 +1,19 @@
+(** Fixed-capacity mutable bitset over [0, capacity). *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+(** Test-and-set: returns [true] iff the bit was previously clear. *)
+val add_if_absent : t -> int -> bool
+
+val clear : t -> unit
+
+(** Number of set bits. *)
+val count : t -> int
+
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,77 @@
+(* Logarithmically bucketed histogram.
+
+   Streams latency observations without retaining every sample; the driver
+   uses it for long mixed-workload runs where keeping raw samples per query
+   type would dominate memory. Buckets grow geometrically so that relative
+   error is bounded across the microsecond-to-second range. *)
+
+type t = {
+  base : float; (* lower bound of bucket 0 *)
+  growth : float; (* bucket width ratio *)
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
+let create ?(base = 1e-6) ?(growth = 1.2) ?(buckets = 128) () =
+  if base <= 0.0 || growth <= 1.0 || buckets < 2 then invalid_arg "Histogram.create";
+  {
+    base;
+    growth;
+    counts = Array.make buckets 0;
+    total = 0;
+    sum = 0.0;
+    min_seen = infinity;
+    max_seen = neg_infinity;
+  }
+
+let bucket_of t x =
+  if x < t.base then 0
+  else begin
+    let i = 1 + int_of_float (log (x /. t.base) /. log t.growth) in
+    min i (Array.length t.counts - 1)
+  end
+
+(* Representative value (geometric midpoint) of bucket [i]. *)
+let bucket_value t i =
+  if i = 0 then t.base
+  else t.base *. (t.growth ** (float_of_int (i - 1) +. 0.5))
+
+let add t x =
+  let i = bucket_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min_seen then t.min_seen <- x;
+  if x > t.max_seen then t.max_seen <- x
+
+let count t = t.total
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let percentile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q /. 100.0 *. float_of_int t.total)) in
+    let rank = max 1 (min t.total rank) in
+    let rec walk i seen =
+      let seen = seen + t.counts.(i) in
+      if seen >= rank then
+        (* Clamp the bucket estimate by the actually observed extrema. *)
+        Float.min t.max_seen (Float.max t.min_seen (bucket_value t i))
+      else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let merge ~into t =
+  if Array.length into.counts <> Array.length t.counts || into.base <> t.base
+     || into.growth <> t.growth
+  then invalid_arg "Histogram.merge: incompatible layouts";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.total <- into.total + t.total;
+  into.sum <- into.sum +. t.sum;
+  if t.min_seen < into.min_seen then into.min_seen <- t.min_seen;
+  if t.max_seen > into.max_seen then into.max_seen <- t.max_seen

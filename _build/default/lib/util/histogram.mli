@@ -1,0 +1,18 @@
+(** Streaming log-bucketed histogram for latency distributions. *)
+
+type t
+
+(** [create ()] covers [base, base * growth^buckets) with geometric
+    buckets; observations outside clamp to the edge buckets. *)
+val create : ?base:float -> ?growth:float -> ?buckets:int -> unit -> t
+
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Approximate percentile ([q] in [0,100]); bounded relative error given
+    by the bucket growth ratio. *)
+val percentile : t -> float -> float
+
+(** Merge [t] into [into]; layouts must match. *)
+val merge : into:t -> t -> unit

@@ -1,0 +1,32 @@
+(* Bounded top-k selector.
+
+   Keeps the k best elements seen so far in a min-heap of size k: a new
+   element displaces the current minimum when it compares greater. This is
+   the accumulator behind the TopK aggregation step (Figure 1 of the paper)
+   and is itself commutative and associative, hence partitionable: partial
+   top-k sets merged across partitions give the global top-k. *)
+
+type 'a t = {
+  k : int;
+  cmp : 'a -> 'a -> int;
+  heap : 'a Heap.t;
+}
+
+let create ~k ~cmp ~dummy =
+  if k < 0 then invalid_arg "Topk.create: negative k";
+  { k; cmp; heap = Heap.create ~cmp ~dummy }
+
+let length t = Heap.length t.heap
+
+let add t x =
+  if t.k > 0 then
+    if Heap.length t.heap < t.k then Heap.push t.heap x
+    else if t.cmp x (Heap.peek_exn t.heap) > 0 then begin
+      ignore (Heap.pop t.heap);
+      Heap.push t.heap x
+    end
+
+let merge ~into t = List.iter (add into) (Heap.to_sorted_list t.heap)
+
+(* Best first. *)
+let to_sorted_list t = List.rev (Heap.to_sorted_list t.heap)

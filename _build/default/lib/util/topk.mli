@@ -1,0 +1,17 @@
+(** Bounded top-k accumulator.
+
+    [cmp] orders candidates; greater elements are better. The accumulator
+    is partitionable: merging per-partition accumulators yields the global
+    top-k, which is how the TopK step aggregates across workers. *)
+
+type 'a t
+
+val create : k:int -> cmp:('a -> 'a -> int) -> dummy:'a -> 'a t
+val length : 'a t -> int
+val add : 'a t -> 'a -> unit
+
+(** Merge [t] into [into]; [t] is unchanged. *)
+val merge : into:'a t -> 'a t -> unit
+
+(** The current top-k, best first. *)
+val to_sorted_list : 'a t -> 'a list

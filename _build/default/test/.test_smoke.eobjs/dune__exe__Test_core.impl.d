@@ -1,0 +1,1 @@
+test/test_core.ml: Aggregate Alcotest Array Builder Fmt Graph Lazy List Memo Prng Program Progress QCheck QCheck_alcotest Queue Schema Step Traverser Value Weight

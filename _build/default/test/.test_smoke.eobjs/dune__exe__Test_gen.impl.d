@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Datasets Er Filename Fmt Fun Graph Hashtbl List Loader Prng Pstm_core Pstm_gen Pstm_ldbc QCheck QCheck_alcotest Rmat Schema Sys Value Zipf

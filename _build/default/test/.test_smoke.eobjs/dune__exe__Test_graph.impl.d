@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Builder Csr Graph Hashtbl Int List Partition Props QCheck QCheck_alcotest Schema Value Vec

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Ast Compile Dsl Engine Fmt Graph Hashtbl List Local_engine Parser Planner Prng Pstm_engine Pstm_gen Pstm_ldbc Pstm_query QCheck QCheck_alcotest Schema Strategies Value

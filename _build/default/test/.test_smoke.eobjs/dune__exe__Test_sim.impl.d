@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Channel Cluster Event_queue Fmt Fun Gen Histogram List Metrics Netmodel QCheck QCheck_alcotest Sim_time Stats

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Array Async_engine Builder Channel Cluster Compile Dsl Engine Fmt Graph Hashtbl List Local_engine Prng Program Pstm_engine Pstm_gen Pstm_query Schema Step Value

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Hashtbl List Lock_table Option Prng Pstm_ldbc Pstm_sim Pstm_txn QCheck QCheck_alcotest Tel Txn_graph Txn_manager Value

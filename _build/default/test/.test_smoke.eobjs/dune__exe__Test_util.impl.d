@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Fun Heap Histogram Int List Prng QCheck QCheck_alcotest Set Stats Topk Vec

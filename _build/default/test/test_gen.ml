@@ -1,0 +1,236 @@
+(* Tests for the synthetic graph generators. *)
+
+open Pstm_gen
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let test_rmat_shape () =
+  let params = { Rmat.default with Rmat.scale = 10; edge_factor = 8 } in
+  let prng = Prng.create 1 in
+  let edges = Rmat.generate ~params prng in
+  let n = Rmat.n_vertices params in
+  Alcotest.(check int) "vertex count" 1024 n;
+  Alcotest.(check bool) "close to target edges" true
+    (Array.length edges > (8 * n * 3 / 4) && Array.length edges <= 8 * n);
+  Array.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "ids in range" true (s >= 0 && s < n && d >= 0 && d < n);
+      Alcotest.(check bool) "no self loop" true (s <> d))
+    edges;
+  (* Deduplicated by default. *)
+  let seen = Hashtbl.create (Array.length edges) in
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "no duplicate" false (Hashtbl.mem seen e);
+      Hashtbl.add seen e ())
+    edges
+
+let test_rmat_skew () =
+  (* The default parameters are skewed: the max degree far exceeds the
+     mean. *)
+  let prng = Prng.create 2 in
+  let g = Rmat.graph ~params:{ Rmat.default with Rmat.scale = 11 } prng in
+  let max_deg = ref 0 in
+  Graph.iter_vertices g (fun v -> max_deg := max !max_deg (Graph.out_degree g v));
+  let mean = float_of_int (Graph.n_edges g) /. float_of_int (Graph.n_vertices g) in
+  Alcotest.(check bool) "hub exists" true (float_of_int !max_deg > 5.0 *. mean)
+
+let test_rmat_deterministic () =
+  let run () = Rmat.generate ~params:{ Rmat.default with Rmat.scale = 9 } (Prng.create 7) in
+  Alcotest.(check bool) "same seed, same edges" true (run () = run ())
+
+let test_er_shape () =
+  let prng = Prng.create 3 in
+  let edges = Er.generate prng ~n_vertices:100 ~n_edges:500 in
+  Alcotest.(check int) "edge count exact" 500 (Array.length edges);
+  Array.iter
+    (fun (s, d) ->
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 100 && d >= 0 && d < 100);
+      Alcotest.(check bool) "no self loop" true (s <> d))
+    edges
+
+let test_zipf_sampling () =
+  let z = Zipf.create ~n:50 ~exponent:1.0 in
+  let prng = Prng.create 4 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let i = Zipf.sample z prng in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 50);
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > 4 * counts.(40));
+  (* Monotone-ish overall: first quartile outweighs the last. *)
+  let sum a b = Array.fold_left ( + ) 0 (Array.sub counts a (b - a)) in
+  Alcotest.(check bool) "quartile ordering" true (sum 0 12 > sum 38 50)
+
+let test_zipf_degree_sequence () =
+  let prng = Prng.create 5 in
+  let degrees = Zipf.degree_sequence prng ~n:200 ~target_edges:2_000 ~exponent:0.8 in
+  let total = Array.fold_left ( + ) 0 degrees in
+  Alcotest.(check bool) "total near target" true (total > 1_500 && total < 2_600);
+  Array.iter (fun d -> Alcotest.(check bool) "positive" true (d >= 1)) degrees
+
+let test_datasets_deterministic_and_symmetric () =
+  let g = Datasets.load Datasets.tiny in
+  let g' = Datasets.build Datasets.tiny in
+  Alcotest.(check int) "same vertex count" (Graph.n_vertices g) (Graph.n_vertices g');
+  Alcotest.(check int) "same edge count" (Graph.n_edges g) (Graph.n_edges g');
+  (* Symmetrized: out-degree equals in-degree everywhere. *)
+  Graph.iter_vertices g (fun v ->
+      Alcotest.(check int) "symmetric degrees" (Graph.out_degree g v) (Graph.in_degree g v));
+  (* Every vertex has the id and weight properties. *)
+  Graph.iter_vertices g (fun v ->
+      Alcotest.(check bool) "id" true
+        (Value.equal (Value.Int v) (Graph.vertex_prop_by_name g ~key:"id" v));
+      Alcotest.(check bool) "weight" false
+        (Value.is_null (Graph.vertex_prop_by_name g ~key:"weight" v)))
+
+let test_snb_shape () =
+  let d = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+  let g = d.Pstm_ldbc.Snb_gen.graph in
+  let schema = Graph.schema g in
+  let count label =
+    let l = Schema.vertex_label_exn schema label in
+    let n = ref 0 in
+    Graph.iter_vertices_with_label g l (fun _ -> incr n);
+    !n
+  in
+  Alcotest.(check int) "persons" 200 (count Pstm_ldbc.Snb_schema.person);
+  Alcotest.(check bool) "forums exist" true (count Pstm_ldbc.Snb_schema.forum > 0);
+  Alcotest.(check bool) "posts exist" true (count Pstm_ldbc.Snb_schema.post > 0);
+  Alcotest.(check bool) "comments exist" true (count Pstm_ldbc.Snb_schema.comment > 0);
+  Alcotest.(check bool) "tags exist" true (count Pstm_ldbc.Snb_schema.tag > 0);
+  (* knows is stored symmetrically. *)
+  let knows = Schema.edge_label_exn schema Pstm_ldbc.Snb_schema.knows in
+  Array.iter
+    (fun p ->
+      Graph.iter_adjacent g ~dir:Graph.Out ~label:knows p (fun ~target ~edge_id:_ ~label:_ ->
+          let back = ref false in
+          Graph.iter_adjacent g ~dir:Graph.Out ~label:knows target
+            (fun ~target:t2 ~edge_id:_ ~label:_ -> if t2 = p then back := true);
+          Alcotest.(check bool) "knows symmetric" true !back))
+    d.Pstm_ldbc.Snb_gen.persons;
+  (* Every post has a creator and a containing forum. *)
+  let has_creator = Schema.edge_label_exn schema Pstm_ldbc.Snb_schema.has_creator in
+  let container_of = Schema.edge_label_exn schema Pstm_ldbc.Snb_schema.container_of in
+  let count_adjacent ~dir ~label v =
+    let n = ref 0 in
+    Graph.iter_adjacent g ~dir ~label v (fun ~target:_ ~edge_id:_ ~label:_ -> incr n);
+    !n
+  in
+  Array.iter
+    (fun post ->
+      Alcotest.(check int) "one creator" 1 (count_adjacent ~dir:Graph.Out ~label:has_creator post);
+      Alcotest.(check int) "one forum" 1 (count_adjacent ~dir:Graph.In ~label:container_of post))
+    d.Pstm_ldbc.Snb_gen.posts
+
+let test_table2_rows () =
+  let name, v, e, bytes = Datasets.row Datasets.tiny in
+  Alcotest.(check string) "name" "tiny" name;
+  Alcotest.(check bool) "positive sizes" true (v > 0 && e > 0 && bytes > 0)
+
+let test_loader_roundtrip () =
+  let g = Datasets.load Datasets.tiny in
+  let path = Filename.temp_file "pstm" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Loader.save g path;
+      let g' = Loader.load path in
+      (* The edge-list format cannot represent isolated vertices; they are
+         dropped by a round trip. *)
+      let connected g =
+        let n = ref 0 in
+        Graph.iter_vertices g (fun v ->
+            if Graph.out_degree g v > 0 || Graph.in_degree g v > 0 then incr n);
+        !n
+      in
+      Alcotest.(check int) "connected vertices" (connected g) (Graph.n_vertices g');
+      Alcotest.(check int) "edges" (Graph.n_edges g) (Graph.n_edges g');
+      (* Degree sequences agree up to the id remapping; compare sorted,
+         ignoring the isolated vertices. *)
+      let degrees g =
+        List.filter (fun d -> d > 0)
+          (List.sort compare (List.init (Graph.n_vertices g) (Graph.out_degree g)))
+      in
+      Alcotest.(check (list int)) "degree sequence" (degrees g) (degrees g'))
+
+let test_loader_parsing () =
+  let parse text =
+    let path = Filename.temp_file "pstm" ".edges" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Loader.load path)
+  in
+  let g = parse "# comment
+1 2
+
+2 3
+42 1
+" in
+  Alcotest.(check int) "dense vertices" 4 (Graph.n_vertices g);
+  Alcotest.(check int) "edges" 3 (Graph.n_edges g);
+  let g2 = parse "5,6
+6,5
+" in
+  Alcotest.(check int) "comma separated" 2 (Graph.n_edges g2);
+  Alcotest.(check bool) "bad input raises" true
+    (match parse "1 banana
+" with
+    | _ -> false
+    | exception Loader.Parse_error _ -> true);
+  let sym = 
+    let path = Filename.temp_file "pstm" ".edges" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc "0 1
+";
+        close_out oc;
+        Loader.load ~symmetrize:true path)
+  in
+  Alcotest.(check int) "symmetrized" 2 (Graph.n_edges sym)
+
+let snb_queries_deterministic =
+  QCheck.Test.make ~name:"snb query parameters deterministic in seed" ~count:20 QCheck.small_int
+    (fun seed ->
+      let d = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+      let once () =
+        let prng = Prng.create seed in
+        Fmt.str "%a" Pstm_core.Program.pp (Pstm_ldbc.Ic_queries.ic9 d prng)
+      in
+      once () = once ())
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "rmat",
+        [
+          Alcotest.test_case "shape" `Quick test_rmat_shape;
+          Alcotest.test_case "skew" `Quick test_rmat_skew;
+          Alcotest.test_case "deterministic" `Quick test_rmat_deterministic;
+        ] );
+      ("er", [ Alcotest.test_case "shape" `Quick test_er_shape ]);
+      ( "zipf",
+        [
+          Alcotest.test_case "sampling" `Quick test_zipf_sampling;
+          Alcotest.test_case "degree sequence" `Quick test_zipf_degree_sequence;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "deterministic+symmetric" `Quick test_datasets_deterministic_and_symmetric;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "round trip" `Quick test_loader_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_loader_parsing;
+        ] );
+      ( "snb",
+        [ Alcotest.test_case "shape" `Quick test_snb_shape; qcheck snb_queries_deterministic ] );
+    ]

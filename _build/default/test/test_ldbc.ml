@@ -1,0 +1,134 @@
+(* LDBC query correctness: every IC and IS query must produce the same
+   result on the reference interpreter, the asynchronous engine and the
+   BSP engine (row multisets; emission order is engine-specific). *)
+
+open Pstm_engine
+open Pstm_ldbc
+
+let data = lazy (Snb_gen.load Snb_gen.snb_tiny)
+
+let cluster_config = { Cluster.default_config with Cluster.n_nodes = 4; workers_per_node = 4 }
+
+let show_rows rows =
+  Fmt.str "%a" (Fmt.list ~sep:(Fmt.any "@.") (Fmt.array ~sep:(Fmt.any "|") Value.pp))
+    (Engine.sorted_rows rows)
+
+let check_query name make () =
+  let data = Lazy.force data in
+  let prng = Prng.create 77 in
+  let program = make data prng in
+  let expected = show_rows (Local_engine.run data.Snb_gen.graph program) in
+  let async_report =
+    Async_engine.run ~cluster_config ~channel_config:Channel.default_config
+      ~graph:data.Snb_gen.graph
+      [| Engine.submit program |]
+  in
+  Alcotest.(check bool) (name ^ " async completed") true (Engine.all_completed async_report);
+  Alcotest.(check string)
+    (name ^ " async rows")
+    expected
+    (show_rows async_report.Engine.queries.(0).Engine.rows);
+  let bsp_report =
+    Bsp_engine.run ~cluster_config ~graph:data.Snb_gen.graph [| Engine.submit program |]
+  in
+  Alcotest.(check string)
+    (name ^ " bsp rows")
+    expected
+    (show_rows bsp_report.Engine.queries.(0).Engine.rows)
+
+let query_cases =
+  List.map
+    (fun (name, make) -> Alcotest.test_case name `Quick (check_query name make))
+    (Ic_queries.all @ Is_queries.all)
+
+let test_dataset_shape () =
+  let d = Lazy.force data in
+  Alcotest.(check bool) "has persons" true (Array.length d.Snb_gen.persons = 200);
+  Alcotest.(check bool) "has posts" true (Array.length d.Snb_gen.posts > 0);
+  Alcotest.(check bool) "has comments" true (Array.length d.Snb_gen.comments > 0);
+  Alcotest.(check bool) "has edges" true (Graph.n_edges d.Snb_gen.graph > 1000)
+
+(* --- Driver --- *)
+
+let test_schedule_shape () =
+  let data = Lazy.force data in
+  let duration = Sim_time.ms 40 in
+  let subs = Driver.schedule data ~tcr:1.0 ~duration ~seed:5 in
+  Alcotest.(check bool) "nonempty" true (Array.length subs > 0);
+  (* Sorted by arrival, all within the window. *)
+  let sorted = ref true and in_window = ref true in
+  Array.iteri
+    (fun i (s : Engine.submission) ->
+      if i > 0 && Sim_time.compare subs.(i - 1).Engine.at s.Engine.at > 0 then sorted := false;
+      if s.Engine.at < 0 || s.Engine.at >= Sim_time.to_ns duration then in_window := false)
+    subs;
+  Alcotest.(check bool) "sorted by arrival" true !sorted;
+  Alcotest.(check bool) "inside the window" true !in_window;
+  (* Short reads are issued more often than complex reads (LDBC mix). *)
+  let count prefix =
+    Array.fold_left
+      (fun n (s : Engine.submission) ->
+        if String.length (Program.name s.Engine.program) >= 2
+           && String.sub (Program.name s.Engine.program) 0 2 = prefix
+        then n + 1
+        else n)
+      0 subs
+  in
+  Alcotest.(check bool) "IS more frequent than IC" true (count "IS" > count "IC")
+
+let test_schedule_deterministic () =
+  let data = Lazy.force data in
+  let once () =
+    Array.map
+      (fun (s : Engine.submission) -> (Program.name s.Engine.program, s.Engine.at))
+      (Driver.schedule data ~tcr:1.0 ~duration:(Sim_time.ms 30) ~seed:9)
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (once () = once ())
+
+let test_mixed_run_small () =
+  let data = Lazy.force data in
+  let result =
+    Driver.run_mixed_async ~cluster_config ~duration:(Sim_time.ms 30) ~tcr:2.0 ~seed:3 data
+  in
+  Alcotest.(check bool) "kept up at light load" true result.Driver.kept_up;
+  Alcotest.(check int) "everything completed" result.Driver.issued result.Driver.completed;
+  Alcotest.(check bool) "per-query stats exist" true (List.length result.Driver.per_query > 5);
+  List.iter
+    (fun (_, (s : Stats.summary)) ->
+      Alcotest.(check bool) "latencies positive" true (s.Stats.mean >= 0.0))
+    result.Driver.per_query
+
+let test_throughput_helpers () =
+  let data = Lazy.force data in
+  let run subs =
+    Pstm_engine.Async_engine.run ~cluster_config ~channel_config:Channel.default_config
+      ~graph:data.Snb_gen.graph subs
+  in
+  let lat = Driver.sequential_latency ~run ~make:Ic_queries.ic2 ~repeats:2 ~seed:4 data in
+  Alcotest.(check bool) "latency positive" true (lat > 0.0);
+  let qps = Driver.max_throughput ~run ~make:Ic_queries.ic2 ~streams:4 ~seed:4 data in
+  Alcotest.(check bool) "throughput positive" true (qps > 0.0)
+
+let test_update_driver () =
+  let data = Lazy.force data in
+  let r = Driver.run_updates ~n_nodes:2 ~duration:(Sim_time.ms 20) ~tcr:1.0 ~seed:6 data in
+  Alcotest.(check bool) "some updates ran" true (r.Driver.committed > 0);
+  List.iter
+    (fun (_, (s : Stats.summary)) ->
+      Alcotest.(check bool) "update latency positive" true (s.Stats.mean > 0.0))
+    r.Driver.per_kind
+
+let () =
+  Alcotest.run "ldbc"
+    [
+      ("dataset", [ Alcotest.test_case "shape" `Quick test_dataset_shape ]);
+      ("queries", query_cases);
+      ( "driver",
+        [
+          Alcotest.test_case "schedule shape" `Quick test_schedule_shape;
+          Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
+          Alcotest.test_case "mixed run" `Quick test_mixed_run_small;
+          Alcotest.test_case "latency/throughput helpers" `Quick test_throughput_helpers;
+          Alcotest.test_case "updates" `Quick test_update_driver;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for the query layer: strategies, parser, compiler and planner. *)
+
+open Pstm_engine
+open Pstm_query
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let show_rows rows =
+  Fmt.str "%a" (Fmt.list ~sep:(Fmt.any "@.") (Fmt.array ~sep:(Fmt.any "|") Value.pp))
+    (Engine.sorted_rows rows)
+
+(* --- Strategies --- *)
+
+let test_index_lookup_strategy () =
+  let t =
+    { Ast.source = Ast.Scan_all (Some "Person"); steps = [ Ast.Has ("id", Ast.Eq (Value.Int 5)); Ast.Count ] }
+  in
+  match Strategies.apply_traversal t with
+  | { Ast.source = Ast.Lookup { label = Some "Person"; key = "id"; value = Value.Int 5 }; steps = [ Ast.Count ] } ->
+    ()
+  | other -> Alcotest.fail (Fmt.str "unexpected rewrite: %a" Ast.pp_traversal other)
+
+let test_label_pushdown () =
+  let t = { Ast.source = Ast.Scan_all None; steps = [ Ast.Has_label "Tag"; Ast.Count ] } in
+  match Strategies.apply_traversal t with
+  | { Ast.source = Ast.Scan_all (Some "Tag"); steps = [ Ast.Count ] } -> ()
+  | other -> Alcotest.fail (Fmt.str "unexpected rewrite: %a" Ast.pp_traversal other)
+
+let test_order_limit_fusion () =
+  match Strategies.fuse_order_limit [ Ast.Out None; Ast.Order_by "w"; Ast.Limit 5 ] with
+  | Some [ Ast.Out None; Ast.Top_k { key = "w"; k = 5 } ] -> ()
+  | _ -> Alcotest.fail "expected top-k fusion"
+
+let test_redundant_dedup_dropped () =
+  let repeat = Ast.Repeat { dir = Graph.Out; label = None; times = 2 } in
+  (match Strategies.drop_redundant_dedup [ repeat; Ast.Dedup; Ast.Count ] with
+  | Some [ Ast.Repeat _; Ast.Count ] -> ()
+  | _ -> Alcotest.fail "expected dedup removal");
+  match Strategies.collapse_dedup [ Ast.Dedup; Ast.Dedup; Ast.Dedup ] with
+  | Some [ Ast.Dedup; Ast.Dedup ] -> ()
+  | _ -> Alcotest.fail "expected dedup collapse"
+
+let test_strategy_fixpoint () =
+  (* hasLabel then has(eq) collapses all the way into a labeled lookup. *)
+  let ast =
+    Ast.Traversal
+      {
+        Ast.source = Ast.Scan_all None;
+        steps =
+          [
+            Ast.Has_label "Person";
+            Ast.Has ("id", Ast.Eq (Value.Int 3));
+            Ast.Order_by "w";
+            Ast.Limit 2;
+          ];
+      }
+  in
+  match Strategies.apply ast with
+  | Ast.Traversal
+      { Ast.source = Ast.Lookup { label = Some "Person"; _ }; steps = [ Ast.Top_k _ ] } ->
+    ()
+  | other -> Alcotest.fail (Fmt.str "unexpected: %a" Ast.pp other)
+
+(* Strategies preserve semantics on a real graph. *)
+let test_strategies_preserve_semantics () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  (* Compile once with strategies (the default pipeline) and once from a
+     hand-lowered unoptimized equivalent: a full scan with a filter. *)
+  let optimized =
+    Compile.compile ~name:"opt" graph
+      (Ast.Traversal
+         {
+           Ast.source = Ast.Scan_all None;
+           steps = [ Ast.Has ("id", Ast.Eq (Value.Int 9)); Ast.Out (Some "link"); Ast.Count ];
+         })
+  in
+  let manual =
+    Compile.compile ~name:"manual" graph
+      (Ast.Traversal
+         {
+           Ast.source = Ast.Scan_all None;
+           steps = [ Ast.Has ("id", Ast.Ne (Value.Int (-1))); Ast.Has ("id", Ast.Eq (Value.Int 9)); Ast.Out (Some "link"); Ast.Count ];
+         })
+  in
+  Alcotest.(check string) "same answer"
+    (show_rows (Local_engine.run graph optimized))
+    (show_rows (Local_engine.run graph manual))
+
+(* --- Parser --- *)
+
+let test_parser_roundtrip_semantics () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let text =
+    "g.V().has('id', 3).as('s').repeat(out('link')).times(2).where(neq('s'))\n\
+     .order().by('weight', desc).limit(10)"
+  in
+  let parsed = Parser.parse_exn text in
+  let dsl =
+    Dsl.(
+      v_lookup ~key:"id" (int 3)
+      |> as_ "s"
+      |> repeat_out "link" ~times:2
+      |> where_neq "s"
+      |> top_k "weight" 10
+      |> build)
+  in
+  let rows_of ast = show_rows (Local_engine.run graph (Compile.compile graph ast)) in
+  Alcotest.(check string) "parsed equals dsl" (rows_of dsl) (rows_of parsed)
+
+let test_parser_steps () =
+  (* Each supported construct parses. *)
+  List.iter
+    (fun text ->
+      match Parser.parse text with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Fmt.str "%s: %s" text e))
+    [
+      "g.V().count()";
+      "g.V().hasLabel('Person').out('knows').in('likes').both('x').dedup().count()";
+      "g.V().has('age', gt(30)).has('age', lte(40)).has('name', within('a', 'b')).count()";
+      "g.V().values('name')";
+      "g.V().out().limit(3)";
+      "g.V().groupCount('city')";
+      "g.V().sum('w')";
+      "g.V().max('w')";
+      "g.V().min('w')";
+      "g.V().has('pi', 3.14).count()";
+      "g.V().has('neg', -5).count()";
+      "g.V().has('flag', true).count()";
+    ]
+
+let test_parser_errors () =
+  List.iter
+    (fun text ->
+      match Parser.parse text with
+      | Ok _ -> Alcotest.fail (Fmt.str "expected error for %s" text)
+      | Error _ -> ())
+    [
+      "";
+      "h.V().count()";
+      "g.E().count()";
+      "g.V().frobnicate()";
+      "g.V().has('k' 5)";
+      "g.V().repeat(dedup()).times(2)";
+      "g.V().repeat(out('x'))";
+      "g.V().order().count()";
+      "g.V().has('k', 'unterminated";
+      "g.V().where(eq('x'))";
+    ]
+
+(* --- Compiler --- *)
+
+let test_compile_errors () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let expect_error name ast =
+    match Compile.compile ~name graph ast with
+    | _ -> Alcotest.fail (name ^ ": expected Compile.Error")
+    | exception Compile.Error _ -> ()
+  in
+  expect_error "movement after values"
+    (Ast.Traversal { Ast.source = Ast.Scan_all None; steps = [ Ast.Values "w"; Ast.Out None ] });
+  expect_error "unbound select"
+    (Ast.Traversal { Ast.source = Ast.Scan_all None; steps = [ Ast.Select "nope" ] });
+  expect_error "unbound where"
+    (Ast.Traversal { Ast.source = Ast.Scan_all None; steps = [ Ast.Where_neq "nope" ] });
+  expect_error "unfused order"
+    (Ast.Traversal { Ast.source = Ast.Scan_all None; steps = [ Ast.Order_by "w"; Ast.Count ] });
+  expect_error "zero-hop repeat"
+    (Ast.Traversal
+       { Ast.source = Ast.Scan_all None; steps = [ Ast.Repeat { dir = Graph.Out; label = None; times = 0 } ] })
+
+let test_compile_unknown_labels_match_nothing () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let program =
+    Compile.compile ~name:"ghost" graph
+      Dsl.(v ~label:"Ghost" () |> out_ "spectral" |> count |> build)
+  in
+  match Local_engine.run graph program with
+  | [ [| Value.Int 0 |] ] -> ()
+  | rows -> Alcotest.fail (Fmt.str "expected count 0, got %s" (show_rows rows))
+
+let test_select_moves_back () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  (* Walk away and select back: the count equals counting the start. *)
+  let program =
+    Compile.compile ~name:"select" graph
+      Dsl.(
+        v_lookup ~key:"id" (int 4)
+        |> as_ "home"
+        |> out_ "link"
+        |> select "home"
+        |> dedup
+        |> count
+        |> build)
+  in
+  match Local_engine.run graph program with
+  | [ [| Value.Int n |] ] ->
+    let expected = if Graph.out_degree graph 4 > 0 then 1 else 0 in
+    Alcotest.(check int) "back home once" expected n
+  | rows -> Alcotest.fail (Fmt.str "unexpected %s" (show_rows rows))
+
+(* --- Planner --- *)
+
+let test_reverse_traversal () =
+  let t =
+    {
+      Ast.source = Ast.Lookup { label = Some "Tag"; key = "name"; value = Value.Str "t" };
+      steps = [ Ast.In (Some "hasTag"); Ast.Has_label "Post" ];
+    }
+  in
+  match Planner.reverse_traversal t with
+  | [ Ast.Has_label "Post"; Ast.Out (Some "hasTag"); Ast.Has_label "Tag"; Ast.Has ("name", Ast.Eq (Value.Str "t")) ] ->
+    ()
+  | steps ->
+    Alcotest.fail
+      (Fmt.str "unexpected reversal: %a" (Fmt.list ~sep:(Fmt.any ".") Ast.pp_gstep) steps)
+
+let test_reverse_rejects_stateful () =
+  let t = { Ast.source = Ast.Scan_all None; steps = [ Ast.Out None; Ast.Dedup ] } in
+  Alcotest.(check bool) "dedup not reversible" true
+    (match Planner.reverse_traversal t with
+    | _ -> false
+    | exception Planner.Not_reversible _ -> true)
+
+(* All feasible plans of a join pattern must give the same rows — the
+   plan choice is a pure performance decision. *)
+let test_join_plans_equivalent () =
+  let data = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+  let graph = data.Pstm_ldbc.Snb_gen.graph in
+  let prng = Prng.create 3 in
+  let left, right, post = Pstm_ldbc.Ic_queries.ic6_sides data prng in
+  let results =
+    List.filter_map
+      (fun plan ->
+        match Compile.compile_with_plan ~name:"plans" graph ~plan ~left ~right ~post with
+        | exception Planner.Not_reversible _ -> None
+        | program -> Some (Planner.plan_name plan, show_rows (Local_engine.run graph program)))
+      [ Planner.Bidirectional; Planner.Expand_left; Planner.Expand_right ]
+  in
+  Alcotest.(check bool) "at least two feasible plans" true (List.length results >= 2);
+  match results with
+  | (_, first) :: rest ->
+    List.iter (fun (name, rows) -> Alcotest.(check string) name first rows) rest
+  | [] -> assert false
+
+let test_label_stats () =
+  let data = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+  let graph = data.Pstm_ldbc.Snb_gen.graph in
+  let stats = Planner.label_stats graph in
+  let schema = Graph.schema graph in
+  let knows = Schema.edge_label_exn schema Pstm_ldbc.Snb_schema.knows in
+  (match Hashtbl.find_opt stats knows with
+  | Some s ->
+    Alcotest.(check bool) "counts positive" true (s.Planner.count > 0);
+    Alcotest.(check bool) "distinct bounded by count" true
+      (s.Planner.distinct_sources <= s.Planner.count)
+  | None -> Alcotest.fail "knows label missing from stats");
+  (* hasTag fans out much wider inward than outward. *)
+  let fan_in = Planner.step_fanout graph (Ast.In (Some Pstm_ldbc.Snb_schema.has_tag)) in
+  let fan_out = Planner.step_fanout graph (Ast.Out (Some Pstm_ldbc.Snb_schema.has_tag)) in
+  match fan_in, fan_out with
+  | Some i, Some o -> Alcotest.(check bool) "posts-per-tag > tags-per-post" true (i > o)
+  | _ -> Alcotest.fail "expected fanouts"
+
+(* Random traversals always produce equal rows whether compiled via the
+   planner-flattened form or executed as a bidirectional join. *)
+let join_vs_flatten =
+  QCheck.Test.make ~name:"join plans agree on random tag patterns" ~count:20
+    QCheck.(pair (int_range 0 199) (int_range 0 40))
+    (fun (person, tag) ->
+      let data = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+      let graph = data.Pstm_ldbc.Snb_gen.graph in
+      let left =
+        Dsl.(
+          v_lookup ~label:Pstm_ldbc.Snb_schema.person ~key:"id" (int person)
+          |> out_ Pstm_ldbc.Snb_schema.knows
+          |> in_ Pstm_ldbc.Snb_schema.has_creator
+          |> has_label Pstm_ldbc.Snb_schema.post
+          |> traversal)
+      in
+      let right =
+        Dsl.(
+          v_lookup ~label:Pstm_ldbc.Snb_schema.tag ~key:"name" (str (Fmt.str "Tag_%d" tag))
+          |> in_ Pstm_ldbc.Snb_schema.has_tag
+          |> has_label Pstm_ldbc.Snb_schema.post
+          |> traversal)
+      in
+      let post = [ Ast.Count ] in
+      let rows plan =
+        match Compile.compile_with_plan ~name:"jf" graph ~plan ~left ~right ~post with
+        | exception Planner.Not_reversible _ -> None
+        | program -> Some (show_rows (Local_engine.run graph program))
+      in
+      match rows Planner.Bidirectional, rows Planner.Expand_left, rows Planner.Expand_right with
+      | Some a, Some b, Some c -> a = b && b = c
+      | Some a, Some b, None | Some a, None, Some b -> a = b
+      | _ -> false)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "index lookup" `Quick test_index_lookup_strategy;
+          Alcotest.test_case "label pushdown" `Quick test_label_pushdown;
+          Alcotest.test_case "order+limit fusion" `Quick test_order_limit_fusion;
+          Alcotest.test_case "redundant dedup" `Quick test_redundant_dedup_dropped;
+          Alcotest.test_case "fixpoint" `Quick test_strategy_fixpoint;
+          Alcotest.test_case "semantics preserved" `Quick test_strategies_preserve_semantics;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "round-trip semantics" `Quick test_parser_roundtrip_semantics;
+          Alcotest.test_case "all steps parse" `Quick test_parser_steps;
+          Alcotest.test_case "errors rejected" `Quick test_parser_errors;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "errors" `Quick test_compile_errors;
+          Alcotest.test_case "unknown labels" `Quick test_compile_unknown_labels_match_nothing;
+          Alcotest.test_case "select moves back" `Quick test_select_moves_back;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "reverse traversal" `Quick test_reverse_traversal;
+          Alcotest.test_case "rejects stateful" `Quick test_reverse_rejects_stateful;
+          Alcotest.test_case "plans equivalent" `Quick test_join_plans_equivalent;
+          Alcotest.test_case "label stats" `Quick test_label_stats;
+          qcheck join_vs_flatten;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* End-to-end smoke test: a hand-assembled 2-hop count program must agree
+   between the reference interpreter and the asynchronous engine. *)
+
+open Pstm_engine
+
+let khop_count_program graph ~start ~hops =
+  let schema = Graph.schema graph in
+  let id_key = Schema.property_key_exn schema "id" in
+  let steps =
+    [|
+      { Step.op = Step.Index_lookup { vertex_label = None; key = id_key; value = Value.Int start }; next = 1 };
+      { Step.op = Step.Set_reg { reg = 0; expr = Step.Const (Value.Int 0) }; next = 2 };
+      { Step.op = Step.Visit { dist_reg = 0; max_hops = hops; cont = 4; emit_improved = false }; next = 3 };
+      { Step.op = Step.Expand { dir = Graph.Out; edge_label = None }; next = 2 };
+      { Step.op = Step.Aggregate { agg = Step.Count; reg = 1 }; next = 5 };
+      { Step.op = Step.Emit [| Step.Reg 1 |]; next = -1 };
+    |]
+  in
+  Program.make ~name:"khop-count" ~steps ~n_registers:2 ~entries:[| 0 |]
+
+(* Ground truth by plain BFS. *)
+let bfs_count graph ~start ~hops =
+  let visited = Hashtbl.create 64 in
+  Hashtbl.add visited start 0;
+  let frontier = ref [ start ] in
+  for d = 1 to hops do
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        Graph.iter_adjacent graph ~dir:Graph.Out v (fun ~target ~edge_id:_ ~label:_ ->
+            if not (Hashtbl.mem visited target) then begin
+              Hashtbl.add visited target d;
+              next := target :: !next
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  Hashtbl.length visited
+
+let test_local_matches_bfs () =
+  (* Build the fixture by hand so every vertex carries an id property. *)
+  let b = Builder.create () in
+  for _ = 1 to 200 do
+    ignore (Builder.add_vertex b ~label:"vertex" ())
+  done;
+  let edge_prng = Prng.create 12 in
+  for _ = 1 to 800 do
+    let s = Prng.int edge_prng 200 and d = Prng.int edge_prng 200 in
+    if s <> d then ignore (Builder.add_edge b ~src:s ~label:"link" ~dst:d ())
+  done;
+  for v = 0 to 199 do
+    Builder.set_vertex_prop b ~vertex:v ~key:"id" (Value.Int v)
+  done;
+  let graph = Builder.build b in
+  let program = khop_count_program graph ~start:7 ~hops:2 in
+  let rows = Local_engine.run graph program in
+  let expected = bfs_count graph ~start:7 ~hops:2 in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  (match rows with
+  | [ [| Value.Int n |] ] -> Alcotest.(check int) "count" expected n
+  | _ -> Alcotest.fail "unexpected row shape");
+  (* Async engine agreement. *)
+  let report =
+    Async_engine.run
+      ~cluster_config:{ Cluster.default_config with n_nodes = 4; workers_per_node = 4 }
+      ~channel_config:Channel.default_config ~graph
+      [| Engine.submit program |]
+  in
+  Alcotest.(check bool) "completed" true (Engine.all_completed report);
+  (match report.Engine.queries.(0).Engine.rows with
+  | [ [| Value.Int n |] ] -> Alcotest.(check int) "async count" expected n
+  | _ -> Alcotest.fail "unexpected async row shape")
+
+(* The Figure 1 query, built through the DSL and compiler. *)
+let test_compiled_query () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let open Pstm_query in
+  let ast =
+    Dsl.(
+      v_lookup ~key:"id" (int 3)
+      |> repeat_out "link" ~times:2
+      |> has "id" (ne (int 3))
+      |> top_k "weight" 10
+      |> build)
+  in
+  let program = Compile.compile ~name:"fig1" graph ast in
+  let local_rows = Pstm_engine.Local_engine.run graph program in
+  let report =
+    Pstm_engine.Async_engine.run
+      ~cluster_config:{ Cluster.default_config with n_nodes = 4; workers_per_node = 4 }
+      ~channel_config:Channel.default_config ~graph
+      [| Pstm_engine.Engine.submit program |]
+  in
+  let async_rows = report.Pstm_engine.Engine.queries.(0).Pstm_engine.Engine.rows in
+  Alcotest.(check bool) "completed" true (Pstm_engine.Engine.all_completed report);
+  Alcotest.(check int) "one row each" 1 (List.length local_rows);
+  let show rows = Fmt.str "%a" (Fmt.list (Fmt.array Value.pp)) rows in
+  Alcotest.(check string) "rows agree" (show local_rows) (show async_rows)
+
+let test_bsp_agrees () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let open Pstm_query in
+  let ast =
+    Dsl.(v_lookup ~key:"id" (int 9) |> repeat_out "link" ~times:2 |> count |> build)
+  in
+  let program = Compile.compile ~name:"khop-count" graph ast in
+  let local_rows = Pstm_engine.Local_engine.run graph program in
+  let report =
+    Pstm_engine.Bsp_engine.run
+      ~cluster_config:{ Cluster.default_config with n_nodes = 4; workers_per_node = 4 }
+      ~graph
+      [| Pstm_engine.Engine.submit program |]
+  in
+  let bsp_rows = report.Pstm_engine.Engine.queries.(0).Pstm_engine.Engine.rows in
+  let show rows = Fmt.str "%a" (Fmt.list (Fmt.array Value.pp)) rows in
+  Alcotest.(check string) "rows agree" (show local_rows) (show bsp_rows)
+
+let () =
+  Alcotest.run "smoke"
+    [
+      ( "khop",
+        [
+          Alcotest.test_case "local/async agree with BFS" `Quick test_local_matches_bfs;
+          Alcotest.test_case "compiled fig1 query agrees" `Quick test_compiled_query;
+          Alcotest.test_case "bsp agrees" `Quick test_bsp_agrees;
+        ] );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for the transactional substrate: TEL visibility, MV2PL locking,
+   the timestamp manager's LCT, rollback and crash recovery. *)
+
+open Pstm_txn
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Tel --- *)
+
+let test_tel_visibility () =
+  let tel = Tel.create ~n_vertices:3 () in
+  Tel.insert_edge tel ~src:0 ~label:1 ~dst:1 ~ts:10;
+  Tel.insert_edge tel ~src:0 ~label:1 ~dst:2 ~ts:20;
+  Alcotest.(check int) "before creation" 0 (Tel.degree tel ~src:0 ~ts:5);
+  Alcotest.(check int) "after first" 1 (Tel.degree tel ~src:0 ~ts:10);
+  Alcotest.(check int) "after both" 2 (Tel.degree tel ~src:0 ~ts:25);
+  Alcotest.(check bool) "delete succeeds" true (Tel.delete_edge tel ~src:0 ~label:1 ~dst:1 ~ts:30);
+  Alcotest.(check int) "old snapshot unaffected" 2 (Tel.degree tel ~src:0 ~ts:25);
+  Alcotest.(check int) "new snapshot sees delete" 1 (Tel.degree tel ~src:0 ~ts:31);
+  Alcotest.(check bool) "double delete fails" false
+    (Tel.delete_edge tel ~src:0 ~label:1 ~dst:1 ~ts:40)
+
+let test_tel_multiversion_same_edge () =
+  let tel = Tel.create ~n_vertices:2 () in
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:1;
+  ignore (Tel.delete_edge tel ~src:0 ~label:0 ~dst:1 ~ts:5);
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:9;
+  Alcotest.(check bool) "first life" true (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:3);
+  Alcotest.(check bool) "gap" false (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:7);
+  Alcotest.(check bool) "second life" true (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:9);
+  Alcotest.(check int) "both versions in log" 2 (Tel.log_length tel ~src:0)
+
+let test_tel_compact () =
+  let tel = Tel.create ~n_vertices:2 () in
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:1;
+  ignore (Tel.delete_edge tel ~src:0 ~label:0 ~dst:1 ~ts:5);
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:9;
+  Alcotest.(check int) "one reclaimed" 1 (Tel.compact tel ~watermark:6);
+  Alcotest.(check int) "log shrank" 1 (Tel.log_length tel ~src:0);
+  Alcotest.(check bool) "live version survives" true
+    (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:10)
+
+let test_tel_recovery () =
+  let tel = Tel.create ~n_vertices:3 () in
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:5 (* committed *);
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:2 ~ts:15 (* uncommitted *);
+  ignore (Tel.delete_edge tel ~src:0 ~label:0 ~dst:1 ~ts:12) (* uncommitted delete *);
+  let removed = Tel.truncate_after tel ~lct:10 in
+  Alcotest.(check int) "uncommitted insert removed" 1 removed;
+  Alcotest.(check bool) "committed edge resurrected" true
+    (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:20);
+  Alcotest.(check bool) "uncommitted edge gone" false
+    (Tel.edge_exists tel ~src:0 ~label:0 ~dst:2 ~ts:20)
+
+let test_tel_rollback () =
+  let tel = Tel.create ~n_vertices:2 () in
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:3;
+  Alcotest.(check bool) "rollback insert" true (Tel.rollback_insert tel ~src:0 ~label:0 ~dst:1 ~ts:3);
+  Alcotest.(check int) "log empty" 0 (Tel.log_length tel ~src:0);
+  Tel.insert_edge tel ~src:0 ~label:0 ~dst:1 ~ts:4;
+  ignore (Tel.delete_edge tel ~src:0 ~label:0 ~dst:1 ~ts:8);
+  Alcotest.(check bool) "rollback delete" true (Tel.rollback_delete tel ~src:0 ~label:0 ~dst:1 ~ts:8);
+  Alcotest.(check bool) "edge live again" true (Tel.edge_exists tel ~src:0 ~label:0 ~dst:1 ~ts:9)
+
+(* Random histories: TEL agrees with a multigraph model (duplicate edges
+   are distinct instances; a delete tombstones one of them). *)
+let tel_matches_model =
+  QCheck.Test.make ~name:"tel visibility matches a model" ~count:100
+    QCheck.(list (pair (int_range 0 3) bool))
+    (fun ops ->
+      let tel = Tel.create ~n_vertices:4 () in
+      let model = Hashtbl.create 16 in
+      (* model: dst -> number of live edge instances. *)
+      let live dst = Option.value ~default:0 (Hashtbl.find_opt model dst) in
+      let ok = ref true in
+      List.iteri
+        (fun i (dst, insert) ->
+          let ts = i + 1 in
+          if insert then begin
+            Tel.insert_edge tel ~src:0 ~label:0 ~dst ~ts;
+            Hashtbl.replace model dst (live dst + 1)
+          end
+          else begin
+            let was_live = live dst > 0 in
+            let deleted = Tel.delete_edge tel ~src:0 ~label:0 ~dst ~ts in
+            if deleted <> was_live then ok := false;
+            if was_live then Hashtbl.replace model dst (live dst - 1)
+          end;
+          (* Compare visible set and degree at ts against the model. *)
+          let total = ref 0 in
+          for d = 0 to 3 do
+            total := !total + live d;
+            if Tel.edge_exists tel ~src:0 ~label:0 ~dst:d ~ts <> (live d > 0) then ok := false
+          done;
+          if Tel.degree tel ~src:0 ~ts <> !total then ok := false)
+        ops;
+      !ok)
+
+(* --- Lock table --- *)
+
+let test_lock_compatibility () =
+  let locks = Lock_table.create () in
+  Alcotest.(check bool) "s grant" true (Lock_table.acquire locks ~txn:1 ~vertex:0 Lock_table.Shared = Lock_table.Granted);
+  Alcotest.(check bool) "s+s grant" true (Lock_table.acquire locks ~txn:2 ~vertex:0 Lock_table.Shared = Lock_table.Granted);
+  Alcotest.(check bool) "s+x conflict" true (Lock_table.acquire locks ~txn:3 ~vertex:0 Lock_table.Exclusive = Lock_table.Conflict);
+  Alcotest.(check bool) "x elsewhere" true (Lock_table.acquire locks ~txn:3 ~vertex:1 Lock_table.Exclusive = Lock_table.Granted);
+  Alcotest.(check bool) "x+s conflict" true (Lock_table.acquire locks ~txn:1 ~vertex:1 Lock_table.Shared = Lock_table.Conflict);
+  Alcotest.(check int) "conflicts counted" 2 (Lock_table.conflicts locks)
+
+let test_lock_reentrancy_and_upgrade () =
+  let locks = Lock_table.create () in
+  ignore (Lock_table.acquire locks ~txn:1 ~vertex:0 Lock_table.Shared);
+  Alcotest.(check bool) "reentrant" true (Lock_table.acquire locks ~txn:1 ~vertex:0 Lock_table.Shared = Lock_table.Granted);
+  Alcotest.(check bool) "self upgrade" true (Lock_table.acquire locks ~txn:1 ~vertex:0 Lock_table.Exclusive = Lock_table.Granted);
+  Alcotest.(check (option bool)) "holds exclusive" (Some true)
+    (Option.map (fun m -> m = Lock_table.Exclusive) (Lock_table.holds locks ~txn:1 ~vertex:0));
+  (* Upgrade blocked by another sharer. *)
+  ignore (Lock_table.acquire locks ~txn:2 ~vertex:1 Lock_table.Shared);
+  ignore (Lock_table.acquire locks ~txn:3 ~vertex:1 Lock_table.Shared);
+  Alcotest.(check bool) "upgrade blocked" true
+    (Lock_table.acquire locks ~txn:2 ~vertex:1 Lock_table.Exclusive = Lock_table.Conflict)
+
+let test_lock_release () =
+  let locks = Lock_table.create () in
+  ignore (Lock_table.acquire locks ~txn:1 ~vertex:0 Lock_table.Exclusive);
+  ignore (Lock_table.acquire locks ~txn:1 ~vertex:1 Lock_table.Exclusive);
+  Lock_table.release_all locks ~txn:1;
+  Alcotest.(check bool) "freed 0" true (Lock_table.acquire locks ~txn:2 ~vertex:0 Lock_table.Exclusive = Lock_table.Granted);
+  Alcotest.(check bool) "freed 1" true (Lock_table.acquire locks ~txn:2 ~vertex:1 Lock_table.Exclusive = Lock_table.Granted)
+
+(* --- Txn manager --- *)
+
+let test_manager_lct () =
+  let m = Txn_manager.create ~n_nodes:2 in
+  let t1 = Txn_manager.begin_update m in
+  let t2 = Txn_manager.begin_update m in
+  let t3 = Txn_manager.begin_update m in
+  Alcotest.(check int) "initial lct" 0 (Txn_manager.lct m);
+  Txn_manager.commit m ~ts:t2;
+  Alcotest.(check int) "gap holds lct" 0 (Txn_manager.lct m);
+  Txn_manager.commit m ~ts:t1;
+  Alcotest.(check int) "lct jumps over both" t2 (Txn_manager.lct m);
+  Txn_manager.abort m ~ts:t3;
+  Alcotest.(check int) "abort advances" t3 (Txn_manager.lct m);
+  Alcotest.(check int) "broadcast to nodes" t3 (Txn_manager.read_timestamp m ~node:1);
+  Alcotest.(check int) "stats" 3 (Txn_manager.started m)
+
+(* --- Txn_graph --- *)
+
+let test_txn_commit_visibility () =
+  let store = Txn_graph.create ~n_nodes:1 () in
+  let t = Txn_graph.begin_update store in
+  let a = Txn_graph.add_vertex t ~label:"Account" ~props:[ ("id", Value.Int 0) ] () in
+  let b = Txn_graph.add_vertex t ~label:"Account" () in
+  Txn_graph.insert_edge t ~src:a ~label:"pays" ~dst:b;
+  (* Before commit, a fresh snapshot does not see the edge. *)
+  let before = Txn_graph.snapshot store ~node:0 in
+  Alcotest.(check int) "invisible before commit" 0 (Txn_graph.degree before ~src:a);
+  Txn_graph.commit t;
+  let after = Txn_graph.snapshot store ~node:0 in
+  Alcotest.(check int) "visible after commit" 1 (Txn_graph.degree after ~src:a);
+  Alcotest.(check bool) "edge_exists" true (Txn_graph.edge_exists after ~src:a ~label:"pays" ~dst:b);
+  (* The pre-commit snapshot is immutable. *)
+  Alcotest.(check int) "old snapshot stable" 0 (Txn_graph.degree before ~src:a);
+  Alcotest.(check bool) "props visible" true
+    (Value.equal (Value.Int 0) (Txn_graph.vertex_prop after ~vertex:a ~key:"id"))
+
+let test_txn_abort_rolls_back () =
+  let store = Txn_graph.create ~n_nodes:1 () in
+  let t0 = Txn_graph.begin_update store in
+  let a = Txn_graph.add_vertex t0 ~label:"A" () in
+  let b = Txn_graph.add_vertex t0 ~label:"A" () in
+  Txn_graph.insert_edge t0 ~src:a ~label:"e" ~dst:b;
+  Txn_graph.commit t0;
+  let t1 = Txn_graph.begin_update store in
+  Txn_graph.insert_edge t1 ~src:a ~label:"e" ~dst:b;
+  ignore (Txn_graph.delete_edge t1 ~src:a ~label:"e" ~dst:b);
+  Txn_graph.abort t1;
+  let snap = Txn_graph.snapshot store ~node:0 in
+  Alcotest.(check int) "exactly the committed edge" 1 (Txn_graph.degree snap ~src:a)
+
+let test_txn_conflict_aborts () =
+  let store = Txn_graph.create ~n_nodes:1 () in
+  let t0 = Txn_graph.begin_update store in
+  let a = Txn_graph.add_vertex t0 ~label:"A" () in
+  let b = Txn_graph.add_vertex t0 ~label:"A" () in
+  Txn_graph.commit t0;
+  let t1 = Txn_graph.begin_update store in
+  Txn_graph.insert_edge t1 ~src:a ~label:"e" ~dst:b;
+  let t2 = Txn_graph.begin_update store in
+  Alcotest.(check bool) "no-wait abort" true
+    (match Txn_graph.insert_edge t2 ~src:a ~label:"e" ~dst:b with
+    | () -> false
+    | exception Txn_graph.Aborted _ -> true);
+  (* The winner proceeds. *)
+  Txn_graph.commit t1;
+  let snap = Txn_graph.snapshot store ~node:0 in
+  Alcotest.(check int) "winner's edge committed" 1 (Txn_graph.degree snap ~src:a);
+  Alcotest.(check int) "abort recorded" 1 (Txn_manager.aborted (Txn_graph.manager store))
+
+let test_txn_crash_recovery () =
+  let store = Txn_graph.create ~n_nodes:1 () in
+  let t0 = Txn_graph.begin_update store in
+  let a = Txn_graph.add_vertex t0 ~label:"A" () in
+  let b = Txn_graph.add_vertex t0 ~label:"A" () in
+  Txn_graph.insert_edge t0 ~src:a ~label:"e" ~dst:b;
+  Txn_graph.commit t0;
+  (* A transaction that never commits before the "crash". *)
+  let t1 = Txn_graph.begin_update store in
+  Txn_graph.insert_edge t1 ~src:b ~label:"e" ~dst:a;
+  let removed = Txn_graph.crash_recover store in
+  Alcotest.(check int) "uncommitted versions dropped" 1 removed;
+  let snap = Txn_graph.snapshot store ~node:0 in
+  Alcotest.(check int) "committed survives" 1 (Txn_graph.degree snap ~src:a);
+  Alcotest.(check int) "uncommitted gone" 0 (Txn_graph.degree snap ~src:b)
+
+(* --- LDBC updates over the store --- *)
+
+let test_updates_apply () =
+  let data = Pstm_ldbc.Snb_gen.load Pstm_ldbc.Snb_gen.snb_tiny in
+  let store = Pstm_ldbc.Updates.store_of_data data ~n_nodes:2 in
+  let prng = Prng.create 12 in
+  let committed = ref 0 in
+  for _ = 1 to 50 do
+    List.iter
+      (fun kind ->
+        match Pstm_ldbc.Updates.apply store prng kind with
+        | Pstm_ldbc.Updates.Committed -> incr committed
+        | Pstm_ldbc.Updates.Aborted -> ())
+      Pstm_ldbc.Updates.all_kinds
+  done;
+  Alcotest.(check bool) "most updates commit" true (!committed > 300);
+  Alcotest.(check int) "manager agrees" !committed
+    (Txn_manager.committed (Txn_graph.manager store) - 1 (* minus the seeding txn *));
+  (* Latency model gives positive costs for every kind. *)
+  List.iter
+    (fun kind ->
+      let l =
+        Pstm_ldbc.Updates.simulated_latency Pstm_sim.Netmodel.default Pstm_sim.Cluster.default_costs
+          kind
+      in
+      Alcotest.(check bool) (Pstm_ldbc.Updates.kind_name kind) true (l > 0))
+    Pstm_ldbc.Updates.all_kinds
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "tel",
+        [
+          Alcotest.test_case "visibility" `Quick test_tel_visibility;
+          Alcotest.test_case "multiversion" `Quick test_tel_multiversion_same_edge;
+          Alcotest.test_case "compact" `Quick test_tel_compact;
+          Alcotest.test_case "recovery" `Quick test_tel_recovery;
+          Alcotest.test_case "rollback" `Quick test_tel_rollback;
+          qcheck tel_matches_model;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "compatibility" `Quick test_lock_compatibility;
+          Alcotest.test_case "reentrancy/upgrade" `Quick test_lock_reentrancy_and_upgrade;
+          Alcotest.test_case "release" `Quick test_lock_release;
+        ] );
+      ("manager", [ Alcotest.test_case "lct" `Quick test_manager_lct ]);
+      ( "txn_graph",
+        [
+          Alcotest.test_case "commit visibility" `Quick test_txn_commit_visibility;
+          Alcotest.test_case "abort rolls back" `Quick test_txn_abort_rolls_back;
+          Alcotest.test_case "conflict aborts" `Quick test_txn_conflict_aborts;
+          Alcotest.test_case "crash recovery" `Quick test_txn_crash_recovery;
+        ] );
+      ("updates", [ Alcotest.test_case "ldbc updates" `Quick test_updates_apply ]);
+    ]
