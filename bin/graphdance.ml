@@ -5,6 +5,7 @@
      query    -d DS -q "..."  run a Gremlin query on a dataset
      explain  -d DS -q "..."  show the optimized plan without running it
      ldbc     -d snb-s        run one pass of the LDBC IC/IS queries
+     verify   -d DS [-q ...]  static-verify one query, or the LDBC suite
 
    Queries run on the simulated cluster; reported latency is simulated
    time on the modeled hardware (see DESIGN.md). *)
@@ -141,6 +142,60 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Show the optimized PSTM plan for a query")
     Term.(const run $ dataset_arg $ query_arg)
 
+let verify_cmd =
+  let opt_query_arg =
+    let doc = "Gremlin query to verify; without it the whole LDBC IC/IS suite is checked." in
+    Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+  in
+  let report name program =
+    let diags = Pstm_analysis.Verify.check_program program in
+    List.iter (fun d -> Fmt.pr "%s: %a@." name Pstm_analysis.Diagnostic.pp d) diags;
+    let ok = Pstm_analysis.Verify.is_clean diags in
+    if ok then
+      Fmt.pr "%-5s ok (%d steps, %d phases)@." name (Program.n_steps program)
+        (Program.n_phases program);
+    ok
+  in
+  let run dataset text =
+    to_exit
+      (let ( let* ) = Result.bind in
+       match text with
+       | Some text ->
+         let* graph = load_graph dataset in
+         (* Compile.finish already gates on the verifier, so reaching the
+            report below means the program is clean; a rejected program
+            surfaces as the compile/verification error text. *)
+         let* program =
+           match compile_query graph text with
+           | Ok _ as ok -> ok
+           | Error _ as e -> e
+           | exception Program.Invalid message -> Error ("verification error: " ^ message)
+         in
+         if report "query" program then Ok () else Error "verification failed"
+       | None -> begin
+         match List.assoc_opt dataset dataset_presets with
+         | Some (`Snb scale) ->
+           let data = Pstm_ldbc.Snb_gen.load scale in
+           let prng = Prng.create 7 in
+           let failures = ref 0 in
+           List.iter
+             (fun (name, make) ->
+               match make data prng with
+               | program -> if not (report name program) then incr failures
+               | exception Program.Invalid message ->
+                 incr failures;
+                 Fmt.pr "%-5s REJECTED: %s@." name message)
+             (Pstm_ldbc.Ic_queries.all @ Pstm_ldbc.Is_queries.all);
+           if !failures = 0 then Ok ()
+           else Error (Fmt.str "%d program(s) failed verification" !failures)
+         | _ -> Error "verify without -q requires an SNB dataset (snb-tiny, snb-s, snb-l)"
+       end)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Statically verify compiled programs (weight flow, memo lifetime, registers)")
+    Term.(const run $ dataset_arg $ opt_query_arg)
+
 let ldbc_cmd =
   let run dataset nodes workers =
     to_exit
@@ -173,4 +228,4 @@ let () =
     Cmd.info "graphdance" ~version:"1.0.0"
       ~doc:"Distributed asynchronous graph queries on partitioned stateful traversal machines"
   in
-  exit (Cmd.eval' (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; ldbc_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; ldbc_cmd; verify_cmd ]))

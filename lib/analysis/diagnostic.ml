@@ -1,0 +1,54 @@
+(* Structured verifier diagnostics.
+
+   Every finding names the invariant class it violates, the offending step
+   (when one exists) and a human-readable explanation, so planner and
+   engine bugs surface as actionable compile-time reports instead of
+   nondeterministic hangs in the simulator. *)
+
+type severity =
+  | Error (* the program would hang, drop weight, or corrupt memo state *)
+  | Warning (* suspicious but executable *)
+
+type kind =
+  | Malformed (* structural: bad entries, bad successor targets, register ranges *)
+  | Unreachable_step (* dead code: no entry reaches the step *)
+  | Phase_conflict (* a step reachable both before and after an aggregate *)
+  | Dropped_weight (* a traverser's weight can vanish without being finished *)
+  | Unbounded_repeat (* a control-flow cycle with no Visit memo bound *)
+  | Use_before_def (* a register read on a path where nothing defined it *)
+  | Orphan_join (* a double-pipelined join side with no partner *)
+  | Join_mismatch (* partnered sides whose payload arities or phases disagree *)
+  | Unclosed_partial (* a partial aggregate no phase boundary ever combines *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  step : int option; (* offending step index, when the finding has one *)
+  message : string;
+}
+
+let kind_name = function
+  | Malformed -> "malformed"
+  | Unreachable_step -> "unreachable-step"
+  | Phase_conflict -> "phase-conflict"
+  | Dropped_weight -> "dropped-weight"
+  | Unbounded_repeat -> "unbounded-repeat"
+  | Use_before_def -> "use-before-def"
+  | Orphan_join -> "orphan-join"
+  | Join_mismatch -> "join-mismatch"
+  | Unclosed_partial -> "unclosed-partial"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let error ?step kind fmt =
+  Fmt.kstr (fun message -> { severity = Error; kind; step; message }) fmt
+
+let warning ?step kind fmt =
+  Fmt.kstr (fun message -> { severity = Warning; kind; step; message }) fmt
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]%a: %s" (severity_name d.severity) (kind_name d.kind)
+    (fun ppf -> function None -> () | Some i -> Fmt.pf ppf " step %d" i)
+    d.step d.message

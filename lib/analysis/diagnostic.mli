@@ -1,0 +1,33 @@
+(** Structured findings of the program verifier ({!Verify}).
+
+    A diagnostic names the violated invariant class, the offending step
+    index (when one exists) and an explanation. *)
+
+type severity =
+  | Error
+  | Warning
+
+type kind =
+  | Malformed  (** structural: bad entries, successor targets, register ranges *)
+  | Unreachable_step
+  | Phase_conflict  (** step reachable in two different phases *)
+  | Dropped_weight  (** progression weight can vanish unfinished (Theorem 1) *)
+  | Unbounded_repeat  (** control-flow cycle with no Visit memo bound *)
+  | Use_before_def  (** register read on a path where nothing defined it *)
+  | Orphan_join  (** double-pipelined join side with no partner (§III-B) *)
+  | Join_mismatch  (** partnered sides with mismatched payloads or phases *)
+  | Unclosed_partial  (** partial aggregate no phase boundary combines *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  step : int option;
+  message : string;
+}
+
+val kind_name : kind -> string
+val severity_name : severity -> string
+val error : ?step:int -> kind -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : ?step:int -> kind -> ('a, Format.formatter, unit, t) format4 -> 'a
+val is_error : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+(* Determinism lint for the DES codebase.
+
+   The simulator is a discrete-event machine whose whole value is exact
+   replayability: the same seed must produce the same event trace,
+   metrics and result rows on every run. Four source-level hazard classes
+   silently break that:
+
+   - [Unordered_iteration]: Hashtbl.iter/fold/to_seq enumerate buckets in
+     hash order, which depends on insertion history and (under
+     [Hashtbl.randomize]) the process seed — any order-sensitive consumer
+     becomes run-dependent;
+   - [Polymorphic_compare]: Stdlib.compare on values containing floats,
+     functional values or cyclic structure can diverge or order
+     inconsistently with intended domain order;
+   - [Raw_random]: Random.* outside the seeded {!Prng} draws from global
+     state other call sites also advance;
+   - [Wall_clock]: Unix.gettimeofday/Unix.time/Sys.time leak host time
+     into simulated behaviour.
+
+   The scan is line-based over comment-stripped source. Sites that are
+   genuinely order-insensitive (commutative folds, collections sorted
+   before use) carry a same-line [(* det-ok: reason *)] marker; a marker
+   with no reason does not suppress. *)
+
+type hazard =
+  | Unordered_iteration
+  | Polymorphic_compare
+  | Raw_random
+  | Wall_clock
+
+type finding = {
+  file : string;
+  line : int; (* 1-based *)
+  hazard : hazard;
+  excerpt : string;
+}
+
+let hazard_name = function
+  | Unordered_iteration -> "unordered-iteration"
+  | Polymorphic_compare -> "polymorphic-compare"
+  | Raw_random -> "raw-random"
+  | Wall_clock -> "wall-clock"
+
+let hazard_hint = function
+  | Unordered_iteration ->
+    "Hashtbl enumeration order is unspecified; sort the keys or justify with (* det-ok: ... *)"
+  | Polymorphic_compare ->
+    "polymorphic compare is fragile; use a domain compare or justify with (* det-ok: ... *)"
+  | Raw_random -> "global Random state is unseeded; draw from Prng instead"
+  | Wall_clock -> "wall-clock reads leak host time into the simulation; use Sim time"
+
+(* Pattern table: hazard, needles searched as substrings of the
+   comment-stripped line. Substring match keeps the lint honest and
+   simple; the allowlist absorbs the few justified sites. *)
+let detectors =
+  [
+    (Unordered_iteration, [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq" ]);
+    (Polymorphic_compare, [ "List.sort compare"; "Array.sort compare"; "Stdlib.compare" ]);
+    (Raw_random, [ "Random." ]);
+    (Wall_clock, [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]);
+  ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+(* Blank out (* ... *) comments and "..." string literals, preserving
+   newlines so line numbers survive. Handles nested comments and quotes
+   inside comments the way the OCaml lexer does not need us to: close
+   enough for a pattern lint. *)
+let strip_comments src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let depth = ref 0 and in_string = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_string then begin
+      if c = '\\' && !i + 1 < n then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_char buf (if src.[!i + 1] = '\n' then '\n' else ' ');
+        incr i
+      end
+      else begin
+        if c = '"' then in_string := false;
+        Buffer.add_char buf (if c = '\n' then '\n' else ' ')
+      end
+    end
+    else if !depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr depth;
+        Buffer.add_string buf "  ";
+        incr i
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr depth;
+        Buffer.add_string buf "  ";
+        incr i
+      end
+      else Buffer.add_char buf (if c = '\n' then '\n' else ' ')
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      depth := 1;
+      Buffer.add_string buf "  ";
+      incr i
+    end
+    else if c = '"' then begin
+      in_string := true;
+      Buffer.add_char buf ' '
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  Buffer.contents buf
+
+(* A line carries the allowlist marker when its RAW text has "det-ok:"
+   followed by a non-empty justification (before any closing "*)"). *)
+let allowlisted raw =
+  let marker = "det-ok:" in
+  let nh = String.length raw and nn = String.length marker in
+  let rec find i = if i + nn > nh then None else if String.sub raw i nn = marker then Some (i + nn) else find (i + 1) in
+  match find 0 with
+  | None -> false
+  | Some start ->
+    let rest = String.sub raw start (nh - start) in
+    let rest =
+      match String.index_opt rest '*' with
+      | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' -> String.sub rest 0 j
+      | _ -> rest
+    in
+    String.trim rest <> ""
+
+let scan ~file src =
+  let stripped = Array.of_list (String.split_on_char '\n' (strip_comments src)) in
+  let raw = Array.of_list (String.split_on_char '\n' src) in
+  let findings = ref [] in
+  Array.iteri
+    (fun idx line ->
+      let raw_line = raw.(idx) in
+      (* The marker suppresses its own line and the one below it, so a
+         justification can sit on the hazard line or just above it. *)
+      let suppressed =
+        allowlisted raw_line || (idx > 0 && allowlisted raw.(idx - 1))
+      in
+      if not suppressed then
+        List.iter
+          (fun (hazard, needles) ->
+            if List.exists (contains line) needles then
+              findings :=
+                { file; line = idx + 1; hazard; excerpt = String.trim raw_line } :: !findings)
+          detectors)
+    stripped;
+  List.rev !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path = scan ~file:path (read_file path)
+
+(* Collect .ml files under the roots, sorted, and scan them all. .mli
+   files only declare — hazards live in implementations. *)
+let ml_files_under roots =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc entry -> walk acc (Filename.concat path entry))
+        acc (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.sort String.compare (List.fold_left walk [] roots)
+
+let scan_roots roots = List.concat_map scan_file (ml_files_under roots)
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s:%d: [%s] %s@,  %s" f.file f.line (hazard_name f.hazard) f.excerpt
+    (hazard_hint f.hazard)

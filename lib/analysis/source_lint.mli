@@ -1,0 +1,35 @@
+(** Determinism lint: scans OCaml sources for constructs that make a
+    discrete-event-simulation run depend on hash order, global random
+    state or the host clock.
+
+    Justified sites carry a same-line [(* det-ok: reason *)] marker; the
+    reason must be non-empty for the marker to suppress. *)
+
+type hazard =
+  | Unordered_iteration  (** Hashtbl.iter/fold/to_seq: bucket order *)
+  | Polymorphic_compare  (** structural compare on unconstrained values *)
+  | Raw_random  (** Random.* outside the seeded Prng *)
+  | Wall_clock  (** Unix.gettimeofday / Unix.time / Sys.time *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  hazard : hazard;
+  excerpt : string;  (** trimmed source line *)
+}
+
+val hazard_name : hazard -> string
+val hazard_hint : hazard -> string
+
+(** Scan one source text (exposed for tests). *)
+val scan : file:string -> string -> finding list
+
+val scan_file : string -> finding list
+
+(** Every [.ml] under the given roots, sorted. *)
+val ml_files_under : string list -> string list
+
+(** Scan every [.ml] under the given roots, in sorted file order. *)
+val scan_roots : string list -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit

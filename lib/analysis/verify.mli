@@ -1,0 +1,36 @@
+(** Static program verifier: dataflow analyses over compiled PSTM step
+    arrays.
+
+    Checks the static shadows of the engines' dynamic invariants —
+    progression-weight conservation (Theorem 1), memo lifetime (§III-B/C),
+    phase consistency, and register def-before-use — and reports every
+    violation as a structured {!Diagnostic.t} instead of stopping at the
+    first, as {!Program.make} does. *)
+
+(** A program candidate. {!Program.t} values are always structurally valid
+    (construction raises otherwise), so tests feed raw step arrays here to
+    exercise the rejection paths. *)
+type target = {
+  name : string;
+  steps : Step.t array;
+  n_registers : int;
+  entries : int array;
+}
+
+val of_program : Program.t -> target
+
+(** Run every analysis; diagnostics come out in deterministic order
+    (structure, registers, reachability/phases, joins, aggregates,
+    cycles, def-before-use; step order within each). *)
+val check : target -> Diagnostic.t list
+
+val check_program : Program.t -> Diagnostic.t list
+
+val errors : Diagnostic.t list -> Diagnostic.t list
+val is_clean : Diagnostic.t list -> bool
+val pp_report : Format.formatter -> Diagnostic.t list -> unit
+
+(** Gate for program-construction sites: returns the program unchanged
+    when error-free, raises {!Program.Invalid} with the full report
+    otherwise. *)
+val program_exn : Program.t -> Program.t

@@ -75,6 +75,7 @@ let merge ~into t =
     a.items <- List.rev_append taken a.items;
     a.n <- a.n + List.length taken
   | Group_st a, Group_st b ->
+    (* det-ok: per-key counter addition is commutative across merge order *)
     Hashtbl.iter
       (fun key n ->
         let m = Option.value ~default:0 (Hashtbl.find_opt a.counts key) in
@@ -90,6 +91,7 @@ let finalize = function
   | Topk_st st -> Value.List (List.map snd (Topk.to_sorted_list st.acc))
   | Collect_st st -> Value.List (List.rev st.items)
   | Group_st st ->
+    (* det-ok: pairs sorted by Value.compare on the next line *)
     let pairs = Hashtbl.fold (fun k n acc -> (k, n) :: acc) st.counts [] in
     let pairs = List.sort (fun (a, _) (b, _) -> Value.compare a b) pairs in
     Value.List (List.map (fun (k, n) -> Value.List [ k; Value.Int n ]) pairs)
@@ -106,4 +108,6 @@ let bytes = function
       (fun acc (s, o) -> acc + Value.bytes s + Value.bytes o)
       8 (Topk.to_sorted_list st.acc)
   | Collect_st st -> List.fold_left (fun acc v -> acc + Value.bytes v) 8 st.items
-  | Group_st st -> Hashtbl.fold (fun k _ acc -> acc + Value.bytes k + 8) st.counts 8
+  | Group_st st ->
+    (* det-ok: commutative sum over entries *)
+    Hashtbl.fold (fun k _ acc -> acc + Value.bytes k + 8) st.counts 8

@@ -95,9 +95,13 @@ let check_join_pairing steps phase_of_step =
           Hashtbl.replace sides join_id (a, entry))
       | _ -> ())
     steps;
-  Hashtbl.iter
-    (fun join_id pair ->
-      match pair with
+  let ids =
+    (* det-ok: ids sorted before use, so the first error reported is stable *)
+    List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) sides [])
+  in
+  List.iter
+    (fun join_id ->
+      match Hashtbl.find sides join_id with
       | Some (ia, store_a, load_a), Some (ib, store_b, load_b) ->
         if store_a <> load_b then
           invalid "join %d: side A stores %d values but side B loads %d" join_id store_a load_b;
@@ -108,7 +112,7 @@ let check_join_pairing steps phase_of_step =
         join_partner.(ia) <- ib;
         join_partner.(ib) <- ia
       | _ -> invalid "join %d is missing a side" join_id)
-    sides;
+    ids;
   join_partner
 
 let make ~name ~steps ~n_registers ~entries =

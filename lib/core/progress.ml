@@ -63,10 +63,11 @@ let pending_additions c = c.pending_adds
 
 (* Remove and return all merged weights, ready to be sent to trackers. *)
 let drain c =
+  (* det-ok: the collected triples are sorted below before shipping *)
   let out = Hashtbl.fold (fun (qid, phase) w acc -> (qid, phase, w) :: acc) c.pending [] in
   Hashtbl.reset c.pending;
   c.pending_adds <- 0;
-  (* Deterministic shipping order. *)
+  (* Deterministic shipping order. det-ok: (int, int, weight-as-int) triples *)
   List.sort compare out
 
 let additions c = c.additions

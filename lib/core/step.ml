@@ -90,6 +90,24 @@ let rec max_reg_pred = function
   | And (p, q) | Or (p, q) -> max (max_reg_pred p) (max_reg_pred q)
   | Not p -> max_reg_pred p
 
+(* Register reads, for the static verifier's def-before-use analysis. *)
+let rec iter_regs_expr f = function
+  | Const _ | Vertex_id | Vertex_label | Prop _ -> ()
+  | Reg r | Prop_of { reg = r; _ } -> f r
+  | Add (a, b) | Pair (a, b) ->
+    iter_regs_expr f a;
+    iter_regs_expr f b
+
+let rec iter_regs_pred f = function
+  | True -> ()
+  | Cmp (_, a, b) ->
+    iter_regs_expr f a;
+    iter_regs_expr f b
+  | And (p, q) | Or (p, q) ->
+    iter_regs_pred f p;
+    iter_regs_pred f q
+  | Not p -> iter_regs_pred f p
+
 (* --- Aggregations (§III-C) --- *)
 
 type agg =
@@ -105,6 +123,13 @@ let agg_prop_reads = function
   | Count -> 0
   | Sum e | Max e | Min e | Collect { expr = e; _ } | Group_count e -> expr_prop_reads e
   | Topk { score; output; _ } -> expr_prop_reads score + expr_prop_reads output
+
+let iter_regs_agg f = function
+  | Count -> ()
+  | Sum e | Max e | Min e | Collect { expr = e; _ } | Group_count e -> iter_regs_expr f e
+  | Topk { score; output; _ } ->
+    iter_regs_expr f score;
+    iter_regs_expr f output
 
 (* --- Steps --- *)
 

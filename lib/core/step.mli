@@ -42,6 +42,12 @@ val max_reg_expr : expr -> int
 
 val max_reg_pred : pred -> int
 
+(** Apply [f] to every register an expression/predicate reads (with
+    repetitions); drives the verifier's def-before-use analysis. *)
+val iter_regs_expr : (int -> unit) -> expr -> unit
+
+val iter_regs_pred : (int -> unit) -> pred -> unit
+
 type agg =
   | Count
   | Sum of expr
@@ -53,6 +59,7 @@ type agg =
   | Group_count of expr
 
 val agg_prop_reads : agg -> int
+val iter_regs_agg : (int -> unit) -> agg -> unit
 
 type side =
   | Side_a

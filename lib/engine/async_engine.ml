@@ -103,8 +103,8 @@ type worker = {
   members : int array Lazy.t; (* owned vertices, for Scan sources *)
 }
 
-let run ?(options = default_options) ?deadline ~cluster_config ~channel_config ~graph
-    (submissions : Engine.submission array) =
+let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config ~channel_config
+    ~graph (submissions : Engine.submission array) =
   let cluster = Cluster.create cluster_config in
   let events = Cluster.events cluster in
   let metrics = Cluster.metrics cluster in
@@ -233,6 +233,12 @@ let run ?(options = default_options) ?deadline ~cluster_config ~channel_config ~
   (* ---- Progress tracking ---------------------------------------------- *)
   and tracker_receive ~at w q phase weight =
     Metrics.count_tracker_update metrics;
+    (* Sanitizer: the tracker fires exactly when finished weights sum back
+       to the root. Weight arriving afterwards means some share was
+       counted twice — termination was detected early. *)
+    if check && Progress.is_complete q.trackers.(phase) && not (Weight.is_zero weight) then
+      Engine.check_fail "async: query %d phase %d received weight %a after completion" q.qid
+        phase Weight.pp weight;
     match Progress.receive q.trackers.(phase) weight with
     | Progress.Complete -> Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
     | Progress.Pending -> costs.Cluster.progress_add
@@ -329,6 +335,10 @@ let run ?(options = default_options) ?deadline ~cluster_config ~channel_config ~
         let outcome =
           Exec.exec ~graph ~memo:w.memo ~prng:w.prng ~qid ~program:q.program ~scan trav
         in
+        if check && not (Exec.conserves trav outcome) then
+          Engine.check_fail "async: query %d step %d (%s) broke weight conservation" qid
+            trav.Traverser.step
+            (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
         Metrics.count_edges metrics outcome.Exec.edges_scanned;
         let cost = ref (exec_cost outcome) in
         List.iter
@@ -531,6 +541,25 @@ let run ?(options = default_options) ?deadline ~cluster_config ~channel_config ~
     (* Drop whatever is still in flight: those queries report as timeouts. *)
     ()
   | None -> Event_queue.run_to_completion events);
+  (* Sanitizer post-conditions, only meaningful when the run was not cut
+     short: every query must have terminated (weight loss wedges the
+     tracker forever) and every memo must be empty (P_cleanup is
+     broadcast at completion; a survivor is a query-scoping leak). *)
+  if check && deadline = None then begin
+    for qid = 0 to Array.length submissions - 1 do
+      let q = query qid in
+      if q.completed = None then
+        Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
+          qid
+    done;
+    Array.iter
+      (fun w ->
+        let n = Memo.live_entries w.memo in
+        if n > 0 then
+          Engine.check_fail "async: worker %d holds %d memo entries after all queries completed"
+            w.id n)
+      workers
+  end;
   let reports =
     Array.init (Array.length submissions) (fun qid ->
         let q = query qid in

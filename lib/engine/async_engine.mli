@@ -30,9 +30,15 @@ type options = {
 val default_options : options
 
 (** Run the submissions to completion (or until [deadline]) on a simulated
-    cluster; returns latencies, rows, and channel metrics. *)
+    cluster; returns latencies, rows, and channel metrics.
+
+    [check] enables the runtime sanitizer: per-exec weight conservation,
+    tracker overshoot detection, and (when no deadline cuts the run
+    short) termination of every query plus memo emptiness at the end;
+    the first violated invariant raises {!Engine.Check_violation}. *)
 val run :
   ?options:options ->
+  ?check:bool ->
   ?deadline:Sim_time.t ->
   cluster_config:Cluster.config ->
   channel_config:Channel.config ->

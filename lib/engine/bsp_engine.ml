@@ -48,7 +48,7 @@ type profile =
 
 let profile_name = function Ablation -> "bsp-ablation" | Tigergraph_role -> "tigergraph-role"
 
-let run ?(profile = Ablation) ?deadline ~cluster_config ~graph
+let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
     (submissions : Engine.submission array) =
   let cluster = Cluster.create cluster_config in
   let metrics = Cluster.metrics cluster in
@@ -170,6 +170,10 @@ let run ?(profile = Ablation) ?deadline ~cluster_config ~graph
         q.live <- q.live - 1;
         Metrics.count_step metrics;
         let outcome = Exec.exec ~graph ~memo ~prng ~qid:t_qid ~program:q.program ~scan trav in
+        if check && not (Exec.conserves trav outcome) then
+          Engine.check_fail "bsp: query %d step %d (%s) broke weight conservation" t_qid
+            trav.Traverser.step
+            (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
         Metrics.count_edges metrics outcome.Exec.edges_scanned;
         elapsed := Sim_time.add !elapsed (interpretation_scale * Exec.cost costs outcome);
         List.iter
@@ -298,6 +302,24 @@ let run ?(profile = Ablation) ?deadline ~cluster_config ~graph
       | None -> continue := false
     end
   done;
+  (* Sanitizer post-conditions (only when the run was not deadline-cut):
+     every query drained its frontiers, and query-scoped memos were
+     cleared at completion. *)
+  if check && deadline = None then begin
+    Array.iter
+      (fun q ->
+        if q.completed = None then
+          Engine.check_fail "bsp: query %d never terminated (live count wedged at %d)" q.qid
+            q.live)
+      queries;
+    Array.iteri
+      (fun w memo ->
+        let n = Memo.live_entries memo in
+        if n > 0 then
+          Engine.check_fail "bsp: worker %d holds %d memo entries after all queries completed" w
+            n)
+      memos
+  end;
   let reports =
     Array.map
       (fun q ->

@@ -8,8 +8,12 @@ type profile =
 
 val profile_name : profile -> string
 
+(** [check] enables the runtime sanitizer (per-exec weight conservation;
+    termination and memo emptiness when no deadline applies); violations
+    raise {!Engine.Check_violation}. *)
 val run :
   ?profile:profile ->
+  ?check:bool ->
   ?deadline:Sim_time.t ->
   cluster_config:Cluster.config ->
   graph:Graph.t ->

@@ -4,6 +4,13 @@
    consumes the same submissions and produces the same report shape, so
    the benchmark harness swaps engines freely. *)
 
+(* Sanitizer mode: engines run with [~check:true] assert the verifier's
+   dynamic counterparts (weight conservation per exec, tracker sanity,
+   memo hygiene at termination) and raise on the first violation. *)
+exception Check_violation of string
+
+let check_fail fmt = Fmt.kstr (fun s -> raise (Check_violation s)) fmt
+
 type submission = {
   program : Program.t;
   at : Sim_time.t; (* arrival time of the query *)

@@ -138,6 +138,17 @@ let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
       prop_reads = Array.fold_left (fun a e -> a + Step.expr_prop_reads e) 0 exprs;
     }
 
+(* The header's conservation identity as a runtime predicate, for the
+   engines' sanitizer (check) mode. *)
+let conserves (t : Traverser.t) outcome =
+  let total =
+    List.fold_left
+      (fun acc (c : Traverser.t) -> Weight.add acc c.Traverser.weight)
+      outcome.finished outcome.spawns
+  in
+  let total = List.fold_left (fun acc (_, w) -> Weight.add acc w) total outcome.rows in
+  Weight.equal total t.Traverser.weight
+
 (* CPU time of one [exec] outcome under a cluster cost table. *)
 let cost (costs : Cluster.costs) outcome =
   let open Sim_time in

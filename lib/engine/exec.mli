@@ -25,5 +25,10 @@ val exec :
   Traverser.t ->
   outcome
 
+(** Does the outcome conserve the input traverser's weight
+    (spawned + rows + finished = input)? Used by the engines' sanitizer
+    ([~check:true]) mode. *)
+val conserves : Traverser.t -> outcome -> bool
+
 (** CPU time of an outcome under a cluster cost table. *)
 val cost : Cluster.costs -> outcome -> Sim_time.t

@@ -7,7 +7,7 @@
    produce the same rows as this one on the deterministic query fragment
    (see test/test_engines.ml). *)
 
-let run graph program =
+let run ?(check = false) graph program =
   let memo = Memo.create () in
   let prng = Prng.create 1 in
   let qid = 0 in
@@ -22,10 +22,20 @@ let run graph program =
   let n_phases = Program.n_phases program in
   let queues = Array.init n_phases (fun _ -> Queue.create ()) in
   let push (t : Traverser.t) = Queue.add t queues.(Program.phase_of_step program t.step) in
+  (* Sanitizer ledger (check mode): spawns stay inside their phase, so the
+     weight seeded into a phase must resurface, exactly, as finished and
+     row weights by the time the phase drains (Theorem 1, locally). *)
+  let seeded = Array.make n_phases Weight.zero in
+  let drained = Array.make n_phases Weight.zero in
+  let seed (t : Traverser.t) =
+    let p = Program.phase_of_step program t.step in
+    seeded.(p) <- Weight.add seeded.(p) t.Traverser.weight;
+    push t
+  in
   (* Seed the entry sources with one root traverser each. *)
   Array.iter
     (fun e ->
-      push
+      seed
         (Traverser.make ~vertex:0 ~step:e ~weight:Weight.root
            ~n_registers:(Program.n_registers program)))
     (Program.entries program);
@@ -34,9 +44,22 @@ let run graph program =
     while not (Queue.is_empty queue) do
       let t = Queue.pop queue in
       let outcome = Exec.exec ~graph ~memo ~prng ~qid ~program ~scan t in
+      if check then begin
+        if not (Exec.conserves t outcome) then
+          Engine.check_fail "local: step %d (%s) broke weight conservation" t.Traverser.step
+            (Step.op_name (Program.step program t.Traverser.step).Step.op);
+        drained.(phase) <-
+          List.fold_left
+            (fun acc (_, w) -> Weight.add acc w)
+            (Weight.add drained.(phase) outcome.Exec.finished)
+            outcome.Exec.rows
+      end;
       List.iter push outcome.Exec.spawns;
       List.iter (fun (row, _w) -> rows := row :: !rows) outcome.Exec.rows
     done;
+    if check && not (Weight.equal seeded.(phase) drained.(phase)) then
+      Engine.check_fail "local: phase %d weight ledger broken: seeded %a, drained %a" phase
+        Weight.pp seeded.(phase) Weight.pp drained.(phase);
     match Program.agg_of_phase program phase with
     | None -> ()
     | Some agg_step ->
@@ -58,6 +81,6 @@ let run graph program =
              ~n_registers:(Program.n_registers program))
           reg value
       in
-      push cont
+      seed cont
   done;
   List.rev !rows

@@ -1,5 +1,8 @@
 (** Reference interpreter defining query semantics; the oracle that every
     distributed engine is tested against. *)
 
-(** Execute a program and return its result rows in emission order. *)
-val run : Graph.t -> Program.t -> Value.t array list
+(** Execute a program and return its result rows in emission order.
+    [check] enables the sanitizer: per-step weight conservation and a
+    per-phase weight ledger, raising {!Engine.Check_violation} on the
+    first broken invariant. *)
+val run : ?check:bool -> Graph.t -> Program.t -> Value.t array list

@@ -22,7 +22,9 @@ let size t = t.size
 
 let has_key t key = Hashtbl.mem t.columns key
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.columns []
+let keys t =
+  (* det-ok: keys sorted so callers see a stable enumeration *)
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.columns [])
 
 let get t ~key id =
   if id < 0 || id >= t.size then invalid_arg "Props.get: row out of range";
@@ -85,6 +87,7 @@ let set_column t ~key column = Hashtbl.replace t.columns key column
 
 let of_sparse ~size sparse =
   let t = create ~size in
+  (* det-ok: each key's column is built independently; order cannot matter *)
   Hashtbl.iter (fun key pairs -> set_column t ~key (column_of_pairs ~size pairs)) sparse;
   t
 
@@ -94,4 +97,5 @@ let column_bytes = function
   | Strs (data, _) -> Array.fold_left (fun acc s -> acc + 16 + String.length s) 0 data
   | Mixed data -> Array.fold_left (fun acc v -> acc + 8 + Value.bytes v) 0 data
 
+(* det-ok: commutative sum over columns *)
 let bytes t = Hashtbl.fold (fun _ col acc -> acc + column_bytes col) t.columns 0

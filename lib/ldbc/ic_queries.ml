@@ -212,7 +212,9 @@ let ic13 d prng =
       { Step.op = Step.Emit [| Step.Reg 1 |]; next = -1 };
     |]
   in
-  Program.make ~name:"IC13" ~steps ~n_registers:2 ~entries:[| 0 |]
+  (* Hand-built on the raw ISA, so run it through the static verifier the
+     same way Compile.finish does for DSL-compiled programs. *)
+  Pstm_analysis.Verify.program_exn (Program.make ~name:"IC13" ~steps ~n_registers:2 ~entries:[| 0 |])
 
 (* IC14: interaction paths — 2-hop friends adjacent to the second person
    (a path count between the endpoints). *)

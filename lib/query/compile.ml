@@ -182,14 +182,20 @@ let finish ctx ~name ~entries =
   ignore (append ctx (Step.Emit [| focus_expr ctx |]));
   let last = Vec.length ctx.steps - 1 in
   patch_next ctx last (-1);
-  Program.make ~name ~steps:(Vec.to_array ctx.steps) ~n_registers:(max 1 ctx.n_regs) ~entries
+  (* Every compiled program passes the static verifier before it reaches
+     an engine; a planner bug surfaces here as Program.Invalid rather
+     than as a hung or wrong-answer simulation. *)
+  Pstm_analysis.Verify.program_exn
+    (Program.make ~name ~steps:(Vec.to_array ctx.steps) ~n_registers:(max 1 ctx.n_regs) ~entries)
 
 (* Registers bound while running [f]; used to decide join payloads. *)
 let regs_bound_during ctx f =
+  (* det-ok: the difference is sorted below, so fold order cannot leak *)
   let before = Hashtbl.fold (fun _ r acc -> r :: acc) ctx.regs [] in
   f ();
+  (* det-ok: the difference is sorted below, so fold order cannot leak *)
   let after = Hashtbl.fold (fun _ r acc -> r :: acc) ctx.regs [] in
-  List.sort compare (List.filter (fun r -> not (List.mem r before)) after)
+  List.sort Int.compare (List.filter (fun r -> not (List.mem r before)) after)
 
 let lower_traversal ctx (t : Ast.traversal) =
   let entry = compile_source ctx t.Ast.source in

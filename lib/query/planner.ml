@@ -40,25 +40,36 @@ let label_stats graph =
   | None ->
     let sources = Hashtbl.create 64 and targets = Hashtbl.create 64 in
     let counts = Hashtbl.create 64 in
+    let dsrc = Hashtbl.create 16 and dtgt = Hashtbl.create 16 in
+    let bump table l = Hashtbl.replace table l (1 + Option.value ~default:0 (Hashtbl.find_opt table l)) in
     for e = 0 to Graph.n_edges graph - 1 do
       let l = Graph.edge_label graph e in
-      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l));
-      Hashtbl.replace sources (l, Graph.edge_src graph e) ();
-      Hashtbl.replace targets (l, Graph.edge_dst graph e) ()
+      bump counts l;
+      let src = (l, Graph.edge_src graph e) in
+      if not (Hashtbl.mem sources src) then begin
+        Hashtbl.replace sources src ();
+        bump dsrc l
+      end;
+      let dst = (l, Graph.edge_dst graph e) in
+      if not (Hashtbl.mem targets dst) then begin
+        Hashtbl.replace targets dst ();
+        bump dtgt l
+      end
     done;
-    let distinct table l =
-      Hashtbl.fold (fun (l', _) () acc -> if l' = l then acc + 1 else acc) table 0
-    in
     let stats = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun l count ->
+    let labels =
+      (* det-ok: labels sorted before use, so stats build in a fixed order *)
+      List.sort Int.compare (Hashtbl.fold (fun l _ acc -> l :: acc) counts [])
+    in
+    List.iter
+      (fun l ->
         Hashtbl.replace stats l
           {
-            count;
-            distinct_sources = max 1 (distinct sources l);
-            distinct_targets = max 1 (distinct targets l);
+            count = Option.value ~default:0 (Hashtbl.find_opt counts l);
+            distinct_sources = max 1 (Option.value ~default:0 (Hashtbl.find_opt dsrc l));
+            distinct_targets = max 1 (Option.value ~default:0 (Hashtbl.find_opt dtgt l));
           })
-      counts;
+      labels;
     Hashtbl.add stats_cache key stats;
     stats
 

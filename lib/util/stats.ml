@@ -41,7 +41,7 @@ let percentile_sorted sorted q =
 
 let percentile samples q =
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted q
 
 let summarize samples =
@@ -50,7 +50,7 @@ let summarize samples =
     { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     {
       count = n;
       mean = mean samples;

@@ -1,0 +1,18 @@
+(* Determinism lint driver: scan the library sources for DES
+   nondeterminism hazards (see Pstm_analysis.Source_lint) and fail when
+   any unallowlisted site exists. Wired into `dune runtest` through the
+   @lint alias. *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | roots -> roots
+  in
+  let files = List.length (Pstm_analysis.Source_lint.ml_files_under roots) in
+  match Pstm_analysis.Source_lint.scan_roots roots with
+  | [] ->
+    Fmt.pr "determinism lint: %d files clean@." files;
+    exit 0
+  | findings ->
+    List.iter (fun f -> Fmt.pr "@[<v>%a@]@." Pstm_analysis.Source_lint.pp_finding f) findings;
+    Fmt.pr "determinism lint: %d hazard(s) in %d files@." (List.length findings) files;
+    exit 1
