@@ -27,6 +27,11 @@ let run () =
   let data = Snb_gen.load Snb_gen.snb_s in
   let tcrs = [ 3.0; 0.3; 0.03 ] in
   let results = List.map (fun tcr -> (tcr, run_one data ~tcr)) tcrs in
+  List.iter
+    (fun (tcr, ((gd : Driver.mixed_result), (bsp : Driver.mixed_result))) ->
+      record_report ~label:(Printf.sprintf "fig7.gd.tcr%.2g" tcr) gd.Driver.report;
+      record_report ~label:(Printf.sprintf "fig7.bsp.tcr%.2g" tcr) bsp.Driver.report)
+    results;
   let names = List.map fst (Ic_queries.all @ Is_queries.all) in
   let find (r : Driver.mixed_result) name = List.assoc_opt name r.Driver.per_query in
   let rows =

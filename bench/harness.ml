@@ -4,9 +4,46 @@
 open Pstm_engine
 open Pstm_query
 
+(* --- Machine-readable result sink ------------------------------------ *)
+
+(* When main.ml sees [--json PATH], every figure's tables (mirrored
+   automatically by [print_table]) and any engine reports recorded with
+   [record_report] accumulate here and are written as one JSON document
+   at exit. Human-readable table output is unchanged. *)
+
+module J = Pstm_obs.Json
+
+let json_sink : J.t list ref = ref []
+let json_enabled = ref false
+
+let record_json doc = if !json_enabled then json_sink := doc :: !json_sink
+
+(* Mirror a printed table: same title, headers and cell strings. *)
+let record_table ~title ~headers rows =
+  record_json
+    (J.Obj
+       [
+         ("kind", J.Str "table");
+         ("title", J.Str title);
+         ("headers", J.List (List.map (fun h -> J.Str h) headers));
+         ( "rows",
+           J.List (List.map (fun row -> J.List (List.map (fun c -> J.Str c) row)) rows) );
+       ])
+
+(* Record a full engine report (latency histogram, metrics, stragglers). *)
+let record_report ~label report =
+  record_json
+    (J.Obj
+       [ ("kind", J.Str "report"); ("label", J.Str label); ("report", Engine.report_json report) ])
+
+let write_json path =
+  J.write_file path (J.Obj [ ("results", J.List (List.rev !json_sink)) ]);
+  Printf.printf "  [json results written to %s]\n%!" path
+
 (* --- Plain-text table printer --- *)
 
 let print_table ~title ~headers rows =
+  record_table ~title ~headers rows;
   let all = headers :: rows in
   let widths =
     List.fold_left
@@ -100,3 +137,25 @@ let khop_report ~run graph ~hops ~start =
   run graph [| Engine.submit (khop_program graph ~start ~hops) |]
 
 let section name = Printf.printf "\n######## %s ########\n" name
+
+(* --- Smoke figure (the @bench-smoke alias) ---------------------------- *)
+
+(* One tiny k-hop config through the full pipeline — table, engine
+   report, JSON sink — so CI catches result-plumbing rot in seconds. *)
+let smoke () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let config = cluster ~nodes:2 ~workers:4 in
+  let start = (khop_starts graph ~seed:11 ~n:1).(0) in
+  let report = khop_report ~run:(run_graphdance ~config) graph ~hops:2 ~start in
+  let q = report.Engine.queries.(0) in
+  print_table ~title:"Smoke: 2-hop on tiny (2 nodes x 4 workers)"
+    ~headers:[ "query"; "latency (ms)"; "rows"; "events" ]
+    [
+      [
+        q.Engine.name;
+        ms (Engine.latency_ms q);
+        string_of_int (List.length q.Engine.rows);
+        string_of_int report.Engine.events;
+      ];
+    ];
+  record_report ~label:"smoke" report

@@ -29,6 +29,7 @@ let experiments =
     ("plan", "Figure 3 ablation: join plans", Bench_plan.run);
     ("partition", "Ablation: partition strategies", Bench_partition.run);
     ("micro", "Microbenchmarks", Bench_micro.run);
+    ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
   ]
 
 let aliases = [ ("fig11", "fig10") ]
@@ -46,10 +47,37 @@ let run_one name =
       (String.concat " " (List.map (fun (n, _, _) -> n) experiments @ List.map fst aliases));
     exit 1
 
+(* Pull [--json PATH] out of argv; everything else is experiment names. *)
+let rec extract_json_path = function
+  | [] -> (None, [])
+  | "--json" :: path :: rest ->
+    let _, names = extract_json_path rest in
+    (Some path, names)
+  | [ "--json" ] ->
+    prerr_endline "--json requires a file argument";
+    exit 1
+  | name :: rest ->
+    let path, names = extract_json_path rest in
+    (path, name :: names)
+
 let () =
   print_endline "GraphDance / PSTM benchmark harness";
   print_endline "(all latencies are simulated time on the modeled 8-node cluster)";
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (n, _, _) -> run_one n) experiments
-  | _ :: names -> List.iter run_one names
-  | [] -> ()
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let json_path, names = extract_json_path args in
+  Harness.json_enabled := json_path <> None;
+  (match names with
+  | [] ->
+    (* Everything in paper order; smoke is a CI fixture, not a figure. *)
+    List.iter (fun (n, _, _) -> if n <> "smoke" then run_one n) experiments
+  | names -> List.iter run_one names);
+  match json_path with
+  | None -> ()
+  | Some path ->
+    if !Harness.json_sink = [] then begin
+      (* An experiment ran but recorded nothing: the mirroring in
+         print_table / record_report has rotted. *)
+      prerr_endline "--json given but no results were recorded";
+      exit 1
+    end;
+    Harness.write_json path

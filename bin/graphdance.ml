@@ -4,6 +4,7 @@
      datasets                 list the built-in datasets and their sizes
      query    -d DS -q "..."  run a Gremlin query on a dataset
      explain  -d DS -q "..."  show the optimized plan without running it
+     trace    -d DS -q "..."  run with tracing: operator stats + Chrome trace
      ldbc     -d snb-s        run one pass of the LDBC IC/IS queries
      verify   -d DS [-q ...]  static-verify one query, or the LDBC suite
 
@@ -196,8 +197,64 @@ let verify_cmd =
        ~doc:"Statically verify compiled programs (weight flow, memo lifetime, registers)")
     Term.(const run $ dataset_arg $ opt_query_arg)
 
+let trace_cmd =
+  let trace_out_arg =
+    let doc = "Write the Chrome trace-event JSON (open in chrome://tracing or Perfetto) here." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_engine_arg =
+    let doc = "Execution engine to trace: async (GraphDance) or bsp." in
+    Arg.(value & opt (enum [ ("async", `Async); ("bsp", `Bsp) ]) `Async
+         & info [ "e"; "engine" ] ~doc)
+  in
+  let run dataset text engine nodes workers trace_out =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* graph = load_graph dataset in
+       let* program = compile_query graph text in
+       let config =
+         { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+       in
+       let obs = Pstm_obs.Recorder.create () in
+       let report =
+         match engine with
+         | `Async ->
+           Async_engine.run ~obs ~cluster_config:config ~channel_config:Channel.default_config
+             ~graph
+             [| Engine.submit program |]
+         | `Bsp -> Bsp_engine.run ~obs ~cluster_config:config ~graph [| Engine.submit program |]
+       in
+       let q = report.Engine.queries.(0) in
+       let step_label i = Step.op_summary (Program.step program i).Step.op in
+       Fmt.pr "%a@." (Pstm_obs.Opstats.pp_table ~step_label) (Pstm_obs.Recorder.opstats obs);
+       Fmt.pr "%a@." Engine.pp_query q;
+       let trace = Pstm_obs.Recorder.trace obs in
+       Fmt.pr "trace: %d event(s) recorded, %d dropped@." (Pstm_obs.Trace.length trace)
+         (Pstm_obs.Trace.dropped trace);
+       (match trace_out with
+       | None -> ()
+       | Some path ->
+         Pstm_obs.Json.write_file path (Pstm_obs.Trace.to_chrome_json trace);
+         Fmt.pr "trace written to %s@." path);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a query with tracing: operator stats table plus a Chrome trace-event file")
+    Term.(
+      const run $ dataset_arg $ query_arg $ trace_engine_arg $ nodes_arg $ workers_arg
+      $ trace_out_arg)
+
 let ldbc_cmd =
-  let run dataset nodes workers =
+  let per_query_arg =
+    let doc = "Run each query several times with fresh parameters and print per-query mean/p99." in
+    Arg.(value & flag & info [ "per-query" ] ~doc)
+  in
+  let repeats_arg =
+    let doc = "Runs per query under --per-query." in
+    Arg.(value & opt int 5 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let run dataset nodes workers per_query repeats =
     to_exit
       (match List.assoc_opt dataset dataset_presets with
       | Some (`Snb scale) ->
@@ -206,26 +263,47 @@ let ldbc_cmd =
           { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
         in
         let prng = Prng.create 7 in
-        List.iter
-          (fun (name, make) ->
-            let program = make data prng in
-            let report =
-              Async_engine.run ~cluster_config:config ~channel_config:Channel.default_config
-                ~graph:data.Pstm_ldbc.Snb_gen.graph
-                [| Engine.submit program |]
-            in
-            Fmt.pr "%-5s %a@." name Engine.pp_query report.Engine.queries.(0))
-          (Pstm_ldbc.Ic_queries.all @ Pstm_ldbc.Is_queries.all);
+        let run_once program =
+          Async_engine.run ~cluster_config:config ~channel_config:Channel.default_config
+            ~graph:data.Pstm_ldbc.Snb_gen.graph
+            [| Engine.submit program |]
+        in
+        if per_query then begin
+          if repeats < 1 then invalid_arg "--repeats must be at least 1";
+          Fmt.pr "%-5s %8s %10s %10s %10s@." "query" "runs" "mean-ms" "p99-ms" "rows";
+          List.iter
+            (fun (name, make) ->
+              let rows = ref 0 in
+              let latencies =
+                Array.init repeats (fun _ ->
+                    let report = run_once (make data prng) in
+                    let q = report.Engine.queries.(0) in
+                    rows := !rows + List.length q.Engine.rows;
+                    Engine.latency_ms q)
+              in
+              Fmt.pr "%-5s %8d %10.3f %10.3f %10.1f@." name repeats (Stats.mean latencies)
+                (Stats.percentile latencies 99.0)
+                (float_of_int !rows /. float_of_int repeats))
+            (Pstm_ldbc.Ic_queries.all @ Pstm_ldbc.Is_queries.all)
+        end
+        else
+          List.iter
+            (fun (name, make) ->
+              let report = run_once (make data prng) in
+              Fmt.pr "%-5s %a@." name Engine.pp_query report.Engine.queries.(0))
+            (Pstm_ldbc.Ic_queries.all @ Pstm_ldbc.Is_queries.all);
         Ok ()
       | _ -> Error "ldbc requires an SNB dataset (snb-tiny, snb-s, snb-l)")
   in
   Cmd.v
     (Cmd.info "ldbc" ~doc:"Run one pass of the LDBC IC and IS queries")
-    Term.(const run $ dataset_arg $ nodes_arg $ workers_arg)
+    Term.(const run $ dataset_arg $ nodes_arg $ workers_arg $ per_query_arg $ repeats_arg)
 
 let () =
   let info =
     Cmd.info "graphdance" ~version:"1.0.0"
       ~doc:"Distributed asynchronous graph queries on partitioned stateful traversal machines"
   in
-  exit (Cmd.eval' (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; ldbc_cmd; verify_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; trace_cmd; ldbc_cmd; verify_cmd ]))

@@ -36,6 +36,8 @@ let receive t w =
 
 let is_complete t = t.complete
 let receipts t = t.receipts
+let accumulated t = t.acc
+let target t = t.target
 
 (* --- Worker-local weight coalescing --- *)
 

@@ -18,6 +18,13 @@ val is_complete : tracker -> bool
 (** Number of weight receipts processed (Figure 11's tracker load). *)
 val receipts : tracker -> int
 
+(** Finished weight accumulated so far (reaches the root weight exactly
+    at phase completion — Theorem 1). *)
+val accumulated : tracker -> Weight.t
+
+(** The root weight the tracker is waiting to see returned. *)
+val target : tracker -> Weight.t
+
 (** Worker-local weight coalescing: finished weights merge locally and
     ship only on buffer flush. *)
 type coalescer

@@ -202,4 +202,41 @@ let op_name = function
   | Aggregate _ -> "aggregate"
   | Emit _ -> "emit"
 
+(* Human-readable operator label for EXPLAIN-style output: op name plus
+   the parameters that matter when reading a plan. *)
+let op_summary op =
+  let opt_label = function None -> "*" | Some l -> string_of_int l in
+  match op with
+  | Index_lookup { vertex_label; key; value } ->
+    Printf.sprintf "index_lookup(label=%s, prop%d=%s)" (opt_label vertex_label) key
+      (Fmt.str "%a" Value.pp value)
+  | Scan { vertex_label } -> Printf.sprintf "scan(label=%s)" (opt_label vertex_label)
+  | Expand { dir; edge_label } ->
+    let dir_name = match dir with Graph.Out -> "out" | Graph.In -> "in" | Graph.Both -> "both" in
+    Printf.sprintf "expand(%s, edge=%s)" dir_name (opt_label edge_label)
+  | Filter _ -> "filter"
+  | Set_reg { reg; _ } -> Printf.sprintf "set_reg(r%d)" reg
+  | Move_to { reg } -> Printf.sprintf "move_to(r%d)" reg
+  | Dedup _ -> "dedup"
+  | Visit { dist_reg; max_hops; cont; emit_improved } ->
+    Printf.sprintf "visit(r%d, max_hops=%d, cont=%d%s)" dist_reg max_hops cont
+      (if emit_improved then ", emit_improved" else "")
+  | Join { join_id; side; cont; _ } ->
+    Printf.sprintf "join(#%d, %s, cont=%d)" join_id
+      (match side with Side_a -> "a" | Side_b -> "b")
+      cont
+  | Aggregate { agg; reg } ->
+    let agg_name =
+      match agg with
+      | Count -> "count"
+      | Sum _ -> "sum"
+      | Max _ -> "max"
+      | Min _ -> "min"
+      | Topk { k; _ } -> Printf.sprintf "top%d" k
+      | Collect _ -> "collect"
+      | Group_count _ -> "group_count"
+    in
+    Printf.sprintf "aggregate(%s -> r%d)" agg_name reg
+  | Emit exprs -> Printf.sprintf "emit(%d cols)" (Array.length exprs)
+
 let pp ppf t = Fmt.pf ppf "%s -> %d" (op_name t.op) t.next

@@ -100,4 +100,8 @@ type routing =
 
 val routing : op -> routing
 val op_name : op -> string
+
+(** [op_name] plus the plan-relevant parameters, for EXPLAIN-style
+    operator tables. *)
+val op_summary : op -> string
 val pp : Format.formatter -> t -> unit

@@ -82,6 +82,8 @@ type query_state = {
   submitted : Sim_time.t;
   mutable completed : Sim_time.t option;
   trackers : Progress.tracker array; (* one per phase *)
+  touched : Bitset.t; (* workers that executed a traverser (first-touch) *)
+  fl_weight : Pstm_obs.Flight.handle array; (* per-phase weight trajectory *)
   mutable combine_step : int; (* aggregate step being combined, or -1 *)
   mutable combine_expected : int;
   mutable combine_received : int;
@@ -103,13 +105,41 @@ type worker = {
   members : int array Lazy.t; (* owned vertices, for Scan sources *)
 }
 
-let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config ~channel_config
-    ~graph (submissions : Engine.submission array) =
+let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check = false)
+    ?deadline ~cluster_config ~channel_config ~graph (submissions : Engine.submission array) =
   let cluster = Cluster.create cluster_config in
   let events = Cluster.events cluster in
   let metrics = Cluster.metrics cluster in
   let costs = Cluster.costs cluster in
   let n_workers = Cluster.n_workers cluster in
+  (* Observability: every emission site is guarded by [obs_on] (or the
+     recorder's own enabled flag), so the disabled path costs one branch. *)
+  let obs_on = Pstm_obs.Recorder.enabled obs in
+  let trace = Pstm_obs.Recorder.trace obs in
+  let flight = Pstm_obs.Recorder.flight obs in
+  let opstats = Pstm_obs.Recorder.opstats obs in
+  let inflight = ref 0 in
+  (* dispatched but not yet executed traversers *)
+  if obs_on then
+    Cluster.set_packet_hook cluster
+      (Some
+         (fun (p : Cluster.packet_info) ->
+           (* Span covers NIC serialization only (packets on one NIC are
+              disjoint by construction); arrival is carried as an arg. *)
+           let occupancy_end =
+             Sim_time.diff p.Cluster.arrival (Cluster.net cluster).Netmodel.wire_latency
+           in
+           Pstm_obs.Trace.span trace ~cat:"net"
+             ~tid:(Engine.nic_track p.Cluster.src_node)
+             ~name:"packet" ~ts:p.Cluster.nic_start
+             ~dur:(Sim_time.diff occupancy_end p.Cluster.nic_start)
+             ~args:
+               [
+                 ("dst_node", Pstm_obs.Trace.I p.Cluster.dst_node);
+                 ("bytes", Pstm_obs.Trace.I p.Cluster.bytes);
+                 ("arrival_ns", Pstm_obs.Trace.I (Sim_time.to_ns p.Cluster.arrival));
+               ]
+             ()));
   let workers_per_node = cluster_config.Cluster.workers_per_node in
   let partition =
     Partition.create ~strategy:options.partition ~n_parts:n_workers
@@ -134,6 +164,14 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
           members = lazy (Partition.members partition id);
         })
   in
+  (* Flight-recorder series handles, resolved once (lookup is linear). *)
+  let fl_queue =
+    Array.init n_workers (fun i -> Pstm_obs.Flight.series flight (Printf.sprintf "worker%d.queue" i))
+  in
+  let fl_memo =
+    Array.init n_workers (fun i -> Pstm_obs.Flight.series flight (Printf.sprintf "worker%d.memo" i))
+  in
+  let fl_inflight = Pstm_obs.Flight.series flight "inflight" in
   let queries : (int, query_state) Hashtbl.t = Hashtbl.create 64 in
   let query qid =
     match Hashtbl.find_opt queries qid with
@@ -222,6 +260,7 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
       end
     end
   and dispatch_trav ~at ~src q trav =
+    if obs_on then incr inflight;
     let dst = route q trav in
     let step = Program.step q.program trav.step in
     let kind =
@@ -233,6 +272,19 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
   (* ---- Progress tracking ---------------------------------------------- *)
   and tracker_receive ~at w q phase weight =
     Metrics.count_tracker_update metrics;
+    if obs_on then begin
+      let acc = Weight.add (Progress.accumulated q.trackers.(phase)) weight in
+      Pstm_obs.Trace.instant trace ~cat:"progress" ~tid:(Engine.query_track q.qid)
+        ~name:"tracker_receive" ~ts:at
+        ~args:
+          [
+            ("phase", Pstm_obs.Trace.I phase);
+            ("receipts", Pstm_obs.Trace.I (Progress.receipts q.trackers.(phase) + 1));
+            ("accumulated", Pstm_obs.Trace.I (acc :> int));
+          ]
+        ();
+      Pstm_obs.Flight.sample flight q.fl_weight.(phase) ~time:at (float_of_int (acc :> int))
+    end;
     (* Sanitizer: the tracker fires exactly when finished weights sum back
        to the root. Weight arriving afterwards means some share was
        counted twice — termination was detected early. *)
@@ -281,6 +333,10 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
     end
   (* ---- Phase transitions ----------------------------------------------- *)
   and phase_complete ~at w q phase =
+    if obs_on then
+      Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"phase_complete" ~ts:at
+        ~args:[ ("phase", Pstm_obs.Trace.I phase) ]
+        ();
     match Program.agg_of_phase q.program phase with
     | Some agg_step ->
       (* Pull the per-partition partials in (§III-C). Under the shared
@@ -308,6 +364,14 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
   and complete_query ~at w q =
     q.completed <- Some (max at (Cluster.now cluster));
     q.active <- false;
+    if obs_on then
+      Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"complete" ~ts:at
+        ~args:
+          [
+            ("rows", Pstm_obs.Trace.I (Vec.length q.rows));
+            ("workers_touched", Pstm_obs.Trace.I (Bitset.count q.touched));
+          ]
+        ();
     active_op_count := !active_op_count - Program.n_steps q.program;
     (* Memos are query-scoped: broadcast the automatic clear of §III-B. *)
     let cost = ref Sim_time.zero in
@@ -321,10 +385,15 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
   and process w ~at payload =
     match payload with
     | P_trav { qid; trav } -> begin
+      if obs_on then decr inflight;
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q when not q.active -> Sim_time.zero
       | Some q ->
+        if obs_on && Bitset.add_if_absent q.touched w.id then
+          Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid) ~name:"first_touch" ~ts:at
+            ~args:[ ("worker", Pstm_obs.Trace.I w.id) ]
+            ();
         let scan label =
           let mine = Lazy.force w.members in
           match label with
@@ -340,7 +409,15 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
             trav.Traverser.step
             (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
         Metrics.count_edges metrics outcome.Exec.edges_scanned;
-        let cost = ref (exec_cost outcome) in
+        let base_cost = exec_cost outcome in
+        if obs_on then
+          Pstm_obs.Opstats.record opstats ~step:trav.Traverser.step
+            ~out:(List.length outcome.Exec.spawns)
+            ~rows:(List.length outcome.Exec.rows)
+            ~finished:(not (Weight.is_zero outcome.Exec.finished))
+            ~edges:outcome.Exec.edges_scanned ~memo_hits:outcome.Exec.memo_hits
+            ~memo_misses:outcome.Exec.memo_misses ~busy_ns:(Sim_time.to_ns base_cost);
+        let cost = ref base_cost in
         List.iter
           (fun child ->
             Metrics.count_spawn metrics;
@@ -361,6 +438,12 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
             Sim_time.add !cost
               (finish_weight ~at w q (Program.phase_of_step q.program trav.step)
                  outcome.Exec.finished);
+        if obs_on then
+          Pstm_obs.Trace.span trace ~tid:w.id
+            ~name:(Step.op_name (Program.step q.program trav.Traverser.step).Step.op)
+            ~ts:at ~dur:!cost
+            ~args:[ ("qid", Pstm_obs.Trace.I qid); ("step", Pstm_obs.Trace.I trav.Traverser.step) ]
+            ();
         !cost
     end
     | P_progress { qid; phase; weight } -> begin
@@ -408,6 +491,8 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
               reg value
           in
           Metrics.count_spawn metrics;
+          (* The continuation enters the next phase from outside any step. *)
+          Pstm_obs.Opstats.seed opstats 1;
           Sim_time.add memo_op_cost (dispatch_trav ~at ~src:w.id q cont)
         end
     end
@@ -450,20 +535,33 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
           (* Scans start everywhere: one seed per worker, each scanning
              its own partition. *)
           let seeds = Weight.split seed_prng shares.(i) ~n:n_workers in
+          Pstm_obs.Opstats.seed opstats n_workers;
+          if obs_on then inflight := !inflight + n_workers;
           Array.iteri
             (fun dst seed ->
               ignore
                 (send ~at ~src:q.coordinator ~dst ~kind:Metrics.Control_msg
                    (P_trav { qid = q.qid; trav = Traverser.with_weight root seed })))
             seeds
-        | _ -> deliver q.coordinator (P_trav { qid = q.qid; trav = root }))
+        | _ ->
+          Pstm_obs.Opstats.seed opstats 1;
+          if obs_on then incr inflight;
+          deliver q.coordinator (P_trav { qid = q.qid; trav = root }))
       entries
   and quantum w =
     (* [awake] stays true while the quantum runs: self-sends and deferred
        events need no extra wakeup, and the tail of this function either
        reschedules (staying awake) or goes to sleep explicitly. *)
     w.awake <- true;
-    let local = ref (max (Cluster.now cluster) w.busy_until) in
+    let quantum_start = max (Cluster.now cluster) w.busy_until in
+    let local = ref quantum_start in
+    if obs_on then begin
+      Pstm_obs.Flight.sample flight fl_queue.(w.id) ~time:quantum_start
+        (float_of_int (Queue.length w.tasks));
+      Pstm_obs.Flight.sample flight fl_memo.(w.id) ~time:quantum_start
+        (float_of_int (Memo.live_entries w.memo));
+      Pstm_obs.Flight.sample flight fl_inflight ~time:quantum_start (float_of_int !inflight)
+    end;
     (* Dataflow flavors poll every live operator instance each quantum. *)
     if options.flavor <> Graphdance && !active_op_count > 0 then
       local := Sim_time.add !local (costs.Cluster.operator_sched * !active_op_count);
@@ -476,18 +574,30 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
     (* Coalesced weights ship when the worker idles or once enough have
        merged locally to justify a message (§IV-A: they ride along with
        buffer flushes, not with every death). *)
-    if Queue.is_empty w.tasks || Progress.pending_additions w.coalescer >= 256 then
-      local := Sim_time.add !local (flush_progress ~at:!local w);
+    if Queue.is_empty w.tasks || Progress.pending_additions w.coalescer >= 256 then begin
+      let flush_at = !local in
+      let flush_cost = flush_progress ~at:flush_at w in
+      if obs_on && Sim_time.compare flush_cost Sim_time.zero > 0 then
+        Pstm_obs.Trace.span trace ~tid:w.id ~name:"flush_progress" ~ts:flush_at ~dur:flush_cost ();
+      local := Sim_time.add !local flush_cost
+    end;
     if Queue.is_empty w.tasks then begin
       (* Out of work: flush the tier-1 buffers before sleeping (§IV-B). *)
       w.awake <- false;
-      local := Sim_time.add !local (Channel.flush_worker (channel ()) ~at:!local ~worker:w.id)
+      let flush_at = !local in
+      let flush_cost = Channel.flush_worker (channel ()) ~at:flush_at ~worker:w.id in
+      if obs_on && Sim_time.compare flush_cost Sim_time.zero > 0 then
+        Pstm_obs.Trace.span trace ~tid:w.id ~name:"flush_channel" ~ts:flush_at ~dur:flush_cost ();
+      local := Sim_time.add !local flush_cost
     end
     else begin
       w.awake <- true;
       Event_queue.schedule_at events ~time:!local (fun () -> quantum w)
     end;
-    let consumed = Sim_time.diff !local (max (Cluster.now cluster) w.busy_until) in
+    let consumed = Sim_time.diff !local quantum_start in
+    if obs_on && Sim_time.compare consumed Sim_time.zero > 0 then
+      Pstm_obs.Trace.span trace ~cat:"sched" ~tid:w.id ~name:"quantum" ~ts:quantum_start
+        ~dur:consumed ();
     Metrics.count_busy metrics consumed;
     w.busy_total <- Sim_time.add w.busy_total consumed;
     w.busy_until <- !local
@@ -507,6 +617,10 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
           completed = None;
           trackers =
             Array.init (Program.n_phases program) (fun _ -> Progress.tracker ~target:Weight.root);
+          touched = Bitset.create n_workers;
+          fl_weight =
+            Array.init (Program.n_phases program) (fun phase ->
+                Pstm_obs.Flight.series flight (Printf.sprintf "q%d.phase%d.weight" qid phase));
           combine_step = -1;
           combine_expected = 0;
           combine_received = 0;
@@ -518,6 +632,15 @@ let run ?(options = default_options) ?(check = false) ?deadline ~cluster_config 
       in
       Hashtbl.add queries qid q;
       Event_queue.schedule_at events ~time:s.Engine.at (fun () ->
+          if obs_on then
+            Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid) ~name:"submit"
+              ~ts:s.Engine.at
+              ~args:
+                [
+                  ("query", Pstm_obs.Trace.S (Program.name program));
+                  ("coordinator", Pstm_obs.Trace.I q.coordinator);
+                ]
+              ();
           active_op_count := !active_op_count + Program.n_steps program;
           match options.flavor with
           | Graphdance ->

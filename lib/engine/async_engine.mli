@@ -35,9 +35,15 @@ val default_options : options
     [check] enables the runtime sanitizer: per-exec weight conservation,
     tracker overshoot detection, and (when no deadline cuts the run
     short) termination of every query plus memo emptiness at the end;
-    the first violated invariant raises {!Engine.Check_violation}. *)
+    the first violated invariant raises {!Engine.Check_violation}.
+
+    [obs] attaches a query-scoped recorder (trace spans per step /
+    flush / quantum, per-query instants, flight-recorder series, and
+    per-step operator stats); the default disabled recorder costs one
+    branch per emission site. *)
 val run :
   ?options:options ->
+  ?obs:Pstm_obs.Recorder.t ->
   ?check:bool ->
   ?deadline:Sim_time.t ->
   cluster_config:Cluster.config ->

@@ -28,6 +28,7 @@ type query_state = {
   mutable phase : int;
   rows : Value.t array Vec.t;
   mutable started : bool;
+  touched : Bitset.t; (* workers that executed a traverser (first-touch) *)
 }
 
 type task = {
@@ -48,9 +49,13 @@ type profile =
 
 let profile_name = function Ablation -> "bsp-ablation" | Tigergraph_role -> "tigergraph-role"
 
-let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
-    (submissions : Engine.submission array) =
+let run ?(profile = Ablation) ?(obs = Pstm_obs.Recorder.disabled) ?(check = false) ?deadline
+    ~cluster_config ~graph (submissions : Engine.submission array) =
   let cluster = Cluster.create cluster_config in
+  let obs_on = Pstm_obs.Recorder.enabled obs in
+  let trace = Pstm_obs.Recorder.trace obs in
+  let flight = Pstm_obs.Recorder.flight obs in
+  let opstats = Pstm_obs.Recorder.opstats obs in
   let metrics = Cluster.metrics cluster in
   let costs = Cluster.costs cluster in
   let net = Cluster.net cluster in
@@ -75,9 +80,17 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
           phase = 0;
           rows = Vec.create ~dummy:[||];
           started = false;
+          touched = Bitset.create (Cluster.n_workers cluster);
         })
       submissions
   in
+  let fl_frontier =
+    Array.init n_workers (fun i -> Pstm_obs.Flight.series flight (Printf.sprintf "worker%d.queue" i))
+  in
+  let fl_memo =
+    Array.init n_workers (fun i -> Pstm_obs.Flight.series flight (Printf.sprintf "worker%d.memo" i))
+  in
+  let fl_live = Pstm_obs.Flight.series flight "inflight" in
   let clock = ref Sim_time.zero in
   let route q (trav : Traverser.t) =
     let step = Program.step q.program trav.step in
@@ -95,6 +108,11 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
       (fun q ->
         if (not q.started) && Sim_time.compare q.submitted !clock <= 0 then begin
           q.started <- true;
+          if obs_on then
+            Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"submit"
+              ~ts:q.submitted
+              ~args:[ ("query", Pstm_obs.Trace.S (Program.name q.program)) ]
+              ();
           Array.iter
             (fun entry ->
               let root =
@@ -103,11 +121,13 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
               in
               match (Program.step q.program entry).Step.op with
               | Step.Scan _ ->
+                Pstm_obs.Opstats.seed opstats n_workers;
                 for w = 0 to n_workers - 1 do
                   Queue.add { t_qid = q.qid; trav = root } frontier.(w);
                   q.live <- q.live + 1
                 done
               | _ ->
+                Pstm_obs.Opstats.seed opstats 1;
                 Queue.add { t_qid = q.qid; trav = root } frontier.(q.coordinator);
                 q.live <- q.live + 1)
             (Program.entries q.program)
@@ -151,8 +171,20 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
       live_queries * per_query_sched
   in
   let busy_total = Array.make n_workers Sim_time.zero in
+  let superstep_idx = ref 0 in
   let superstep () =
     Metrics.count_superstep metrics;
+    let clock0 = !clock in
+    if obs_on then begin
+      let live = Array.fold_left (fun acc q -> acc + q.live) 0 queries in
+      Pstm_obs.Flight.sample flight fl_live ~time:clock0 (float_of_int live);
+      for w = 0 to n_workers - 1 do
+        Pstm_obs.Flight.sample flight fl_frontier.(w) ~time:clock0
+          (float_of_int (Queue.length frontier.(w)));
+        Pstm_obs.Flight.sample flight fl_memo.(w) ~time:clock0
+          (float_of_int (Memo.live_entries memos.(w)))
+      done
+    end;
     let msg_bytes = Array.make_matrix n_nodes n_nodes 0 in
     let compute = Array.make n_workers (scheduling_overhead ()) in
     for w = 0 to n_workers - 1 do
@@ -168,6 +200,11 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
         let { t_qid; trav } = Queue.pop frontier.(w) in
         let q = queries.(t_qid) in
         q.live <- q.live - 1;
+        if obs_on && Bitset.add_if_absent q.touched w then
+          Pstm_obs.Trace.instant trace ~tid:(Engine.query_track t_qid) ~name:"first_touch"
+            ~ts:clock0
+            ~args:[ ("worker", Pstm_obs.Trace.I w) ]
+            ();
         Metrics.count_step metrics;
         let outcome = Exec.exec ~graph ~memo ~prng ~qid:t_qid ~program:q.program ~scan trav in
         if check && not (Exec.conserves trav outcome) then
@@ -175,7 +212,15 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
             trav.Traverser.step
             (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
         Metrics.count_edges metrics outcome.Exec.edges_scanned;
-        elapsed := Sim_time.add !elapsed (interpretation_scale * Exec.cost costs outcome);
+        let step_cost = interpretation_scale * Exec.cost costs outcome in
+        if obs_on then
+          Pstm_obs.Opstats.record opstats ~step:trav.Traverser.step
+            ~out:(List.length outcome.Exec.spawns)
+            ~rows:(List.length outcome.Exec.rows)
+            ~finished:(not (Weight.is_zero outcome.Exec.finished))
+            ~edges:outcome.Exec.edges_scanned ~memo_hits:outcome.Exec.memo_hits
+            ~memo_misses:outcome.Exec.memo_misses ~busy_ns:(Sim_time.to_ns step_cost);
+        elapsed := Sim_time.add !elapsed step_cost;
         List.iter
           (fun child ->
             Metrics.count_spawn metrics;
@@ -202,6 +247,10 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
         List.iter (fun (row, _weight) -> Vec.push q.rows row) outcome.Exec.rows
       done;
       compute.(w) <- !elapsed;
+      if obs_on && Sim_time.compare !elapsed Sim_time.zero > 0 then
+        Pstm_obs.Trace.span trace ~tid:w ~name:"compute" ~ts:clock0 ~dur:!elapsed
+          ~args:[ ("superstep", Pstm_obs.Trace.I !superstep_idx) ]
+          ();
       busy_total.(w) <- Sim_time.add busy_total.(w) !elapsed
     done;
     (* Superstep timing: barrier at max worker compute, then bulk exchange
@@ -236,6 +285,20 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
       Sim_time.add costs.Cluster.barrier (2 * net.Netmodel.wire_latency)
     in
     clock := Sim_time.add !clock (Sim_time.add !comm_end barrier);
+    if obs_on then begin
+      Pstm_obs.Trace.span trace ~cat:"sched" ~tid:Engine.superstep_track ~name:"superstep"
+        ~ts:clock0
+        ~dur:(Sim_time.diff !clock clock0)
+        ~args:[ ("index", Pstm_obs.Trace.I !superstep_idx) ]
+        ();
+      (* The barrier tail of the superstep: everything past peak compute. *)
+      Pstm_obs.Trace.span trace ~cat:"sched" ~tid:Engine.superstep_track ~name:"barrier"
+        ~ts:(Sim_time.add clock0 all_compute)
+        ~dur:(Sim_time.diff !clock (Sim_time.add clock0 all_compute))
+        ~args:[ ("index", Pstm_obs.Trace.I !superstep_idx) ]
+        ()
+    end;
+    incr superstep_idx;
     (* Swap frontiers. *)
     for w = 0 to n_workers - 1 do
       Queue.transfer next_frontier.(w) frontier.(w)
@@ -269,11 +332,26 @@ let run ?(profile = Ablation) ?(check = false) ?deadline ~cluster_config ~graph
                    ~n_registers:(Program.n_registers q.program))
                 reg (Aggregate.finalize acc)
             in
+            if obs_on then
+              Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"phase_complete"
+                ~ts:!clock
+                ~args:[ ("phase", Pstm_obs.Trace.I q.phase) ]
+                ();
+            Pstm_obs.Opstats.seed opstats 1;
             q.phase <- q.phase + 1;
             q.live <- 1;
             Queue.add { t_qid = q.qid; trav = cont } frontier.(route q cont)
           | None ->
             q.completed <- Some !clock;
+            if obs_on then
+              Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"complete"
+                ~ts:!clock
+                ~args:
+                  [
+                    ("rows", Pstm_obs.Trace.I (Vec.length q.rows));
+                    ("workers_touched", Pstm_obs.Trace.I (Bitset.count q.touched));
+                  ]
+                ();
             Array.iter (fun memo -> Memo.clear_query memo q.qid) memos
         end)
       queries

@@ -10,9 +10,12 @@ val profile_name : profile -> string
 
 (** [check] enables the runtime sanitizer (per-exec weight conservation;
     termination and memo emptiness when no deadline applies); violations
-    raise {!Engine.Check_violation}. *)
+    raise {!Engine.Check_violation}. [obs] attaches a query-scoped
+    recorder (per-worker compute and superstep/barrier spans, per-query
+    instants, frontier-depth flight series, per-step operator stats). *)
 val run :
   ?profile:profile ->
+  ?obs:Pstm_obs.Recorder.t ->
   ?check:bool ->
   ?deadline:Sim_time.t ->
   cluster_config:Cluster.config ->

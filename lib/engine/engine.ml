@@ -66,3 +66,52 @@ let pp_query ppf q =
   Fmt.pf ppf "%s: %s, %d rows" q.name
     (match latency q with Some l -> Fmt.str "%a" Sim_time.pp l | None -> "TIMEOUT")
     (List.length q.rows)
+
+(* --- Observability ---------------------------------------------------- *)
+
+(* Trace track (Chrome "tid") conventions shared by all engines: workers
+   use their worker id; per-query events and NIC activity get synthetic
+   tracks well above any plausible worker count. *)
+let query_track qid = 1_000_000 + qid
+let nic_track node = 900_000 + node
+let superstep_track = 800_000
+
+let report_json (r : report) =
+  let module J = Pstm_obs.Json in
+  let hist = Histogram.create () in
+  Array.iter
+    (fun q ->
+      let l = latency_ms q in
+      if Float.is_finite l then Histogram.add hist l)
+    r.queries;
+  let busy_ns = Array.map Sim_time.to_ns r.worker_busy in
+  let busy_mean = Stats.mean (Array.map float_of_int busy_ns) in
+  let busy_max = Array.fold_left max 0 busy_ns in
+  let straggler = if busy_mean <= 0.0 then 1.0 else float_of_int busy_max /. busy_mean in
+  let query_json q =
+    J.Obj
+      [
+        ("qid", J.Int q.qid);
+        ("name", J.Str q.name);
+        ("submitted_ns", J.Int (Sim_time.to_ns q.submitted));
+        ( "completed_ns",
+          match q.completed with None -> J.Null | Some c -> J.Int (Sim_time.to_ns c) );
+        ( "latency_ms",
+          let l = latency_ms q in
+          if Float.is_finite l then J.Float l else J.Null );
+        ("rows", J.Int (List.length q.rows));
+      ]
+  in
+  J.Obj
+    [
+      ("engine", J.Str r.engine);
+      ("makespan_ns", J.Int (Sim_time.to_ns r.makespan));
+      ("events", J.Int r.events);
+      ("completed", J.Int (Array.fold_left (fun n q -> if q.completed <> None then n + 1 else n) 0 r.queries));
+      ("queries", J.List (Array.to_list (Array.map query_json r.queries)));
+      ("latency_ms", Pstm_obs.Export.histogram_json hist);
+      ("throughput_qps", J.Float (throughput_qps r));
+      ("metrics", Pstm_obs.Export.metrics_json r.metrics);
+      ("worker_busy_ns", J.List (Array.to_list (Array.map (fun b -> J.Int b) busy_ns)));
+      ("straggler_ratio", J.Float straggler);
+    ]

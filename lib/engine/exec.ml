@@ -19,10 +19,21 @@ type outcome = {
   edges_scanned : int;
   prop_reads : int;
   memo_ops : int;
+  memo_hits : int;
+  memo_misses : int;
 }
 
 let no_effect =
-  { spawns = []; rows = []; finished = Weight.zero; edges_scanned = 0; prop_reads = 0; memo_ops = 0 }
+  {
+    spawns = [];
+    rows = [];
+    finished = Weight.zero;
+    edges_scanned = 0;
+    prop_reads = 0;
+    memo_ops = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+  }
 
 (* Split [weight] over [children] (traversers built without weights). *)
 let distribute prng weight children k =
@@ -44,8 +55,9 @@ let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
       Array.to_list
         (Array.map (fun v -> Traverser.move t ~vertex:v ~step:step.next ~weight:Weight.zero) vertices)
     in
+    let hit = if Array.length vertices > 0 then 1 else 0 in
     distribute prng t.weight children (fun spawns ->
-        { no_effect with spawns; memo_ops = 1; prop_reads = 1 })
+        { no_effect with spawns; memo_ops = 1; prop_reads = 1; memo_hits = hit; memo_misses = 1 - hit })
   | Step.Scan { vertex_label } ->
     let vertices = scan vertex_label in
     let children =
@@ -82,8 +94,14 @@ let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
     let fresh = Memo.add_if_absent memo ~qid ~label:t.step key in
     let reads = Step.expr_prop_reads by in
     if fresh then
-      { no_effect with spawns = [ Traverser.at_step t step.next ]; prop_reads = reads; memo_ops = 1 }
-    else { no_effect with finished = t.weight; prop_reads = reads; memo_ops = 1 }
+      {
+        no_effect with
+        spawns = [ Traverser.at_step t step.next ];
+        prop_reads = reads;
+        memo_ops = 1;
+        memo_misses = 1;
+      }
+    else { no_effect with finished = t.weight; prop_reads = reads; memo_ops = 1; memo_hits = 1 }
   | Step.Visit { dist_reg; max_hops; cont; emit_improved } ->
     let d = Value.to_int_exn t.regs.(dist_reg) in
     let loop_child () =
@@ -104,7 +122,9 @@ let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
         if emit_improved then Traverser.at_step t cont :: base else base
       | Memo.Not_improved -> []
     in
-    distribute prng t.weight children (fun spawns -> { no_effect with spawns; memo_ops = 1 })
+    let hit = match outcome with Memo.First_visit -> 0 | Memo.Improved | Memo.Not_improved -> 1 in
+    distribute prng t.weight children (fun spawns ->
+        { no_effect with spawns; memo_ops = 1; memo_hits = hit; memo_misses = 1 - hit })
   | Step.Join { key; store; load_regs; cont; _ } ->
     let key_value = eval key in
     let payload = Array.map eval store in
@@ -119,8 +139,16 @@ let exec ~graph ~memo ~prng ~qid ~program ~scan (t : Traverser.t) =
         matches
     in
     let reads = Step.expr_prop_reads key + Array.fold_left (fun a e -> a + Step.expr_prop_reads e) 0 store in
+    let n_matches = List.length matches in
     distribute prng t.weight children (fun spawns ->
-        { no_effect with spawns; prop_reads = reads; memo_ops = 2 })
+        {
+          no_effect with
+          spawns;
+          prop_reads = reads;
+          memo_ops = 2;
+          memo_hits = n_matches;
+          memo_misses = (if n_matches = 0 then 1 else 0);
+        })
   | Step.Aggregate { agg; reg = _ } ->
     let partial = Memo.partial memo ~qid ~label:t.step agg in
     Aggregate.accumulate agg partial graph ~vertex:t.vertex ~regs:t.regs;

@@ -8,6 +8,8 @@ type outcome = {
   edges_scanned : int;
   prop_reads : int;
   memo_ops : int;
+  memo_hits : int;  (** memo probes answered from existing state *)
+  memo_misses : int;  (** memo probes that created or missed state *)
 }
 
 (** Execute one traverser through its current step against the partition

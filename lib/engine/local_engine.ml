@@ -7,7 +7,11 @@
    produce the same rows as this one on the deterministic query fragment
    (see test/test_engines.ml). *)
 
-let run ?(check = false) graph program =
+let run ?(obs = Pstm_obs.Recorder.disabled) ?(check = false) graph program =
+  (* The oracle has no simulated clock, so only operator stats are
+     recorded (busy time stays zero); trace and flight need timestamps. *)
+  let obs_on = Pstm_obs.Recorder.enabled obs in
+  let opstats = Pstm_obs.Recorder.opstats obs in
   let memo = Memo.create () in
   let prng = Prng.create 1 in
   let qid = 0 in
@@ -30,6 +34,7 @@ let run ?(check = false) graph program =
   let seed (t : Traverser.t) =
     let p = Program.phase_of_step program t.step in
     seeded.(p) <- Weight.add seeded.(p) t.Traverser.weight;
+    Pstm_obs.Opstats.seed opstats 1;
     push t
   in
   (* Seed the entry sources with one root traverser each. *)
@@ -44,6 +49,13 @@ let run ?(check = false) graph program =
     while not (Queue.is_empty queue) do
       let t = Queue.pop queue in
       let outcome = Exec.exec ~graph ~memo ~prng ~qid ~program ~scan t in
+      if obs_on then
+        Pstm_obs.Opstats.record opstats ~step:t.Traverser.step
+          ~out:(List.length outcome.Exec.spawns)
+          ~rows:(List.length outcome.Exec.rows)
+          ~finished:(not (Weight.is_zero outcome.Exec.finished))
+          ~edges:outcome.Exec.edges_scanned ~memo_hits:outcome.Exec.memo_hits
+          ~memo_misses:outcome.Exec.memo_misses ~busy_ns:0;
       if check then begin
         if not (Exec.conserves t outcome) then
           Engine.check_fail "local: step %d (%s) broke weight conservation" t.Traverser.step

@@ -4,5 +4,7 @@
 (** Execute a program and return its result rows in emission order.
     [check] enables the sanitizer: per-step weight conservation and a
     per-phase weight ledger, raising {!Engine.Check_violation} on the
-    first broken invariant. *)
-val run : ?check:bool -> Graph.t -> Program.t -> Value.t array list
+    first broken invariant. [obs] records per-step operator stats (the
+    oracle has no clock, so trace/flight stay empty). *)
+val run :
+  ?obs:Pstm_obs.Recorder.t -> ?check:bool -> Graph.t -> Program.t -> Value.t array list

@@ -29,7 +29,7 @@ let cluster_config ~workers ~(base : Cluster.config) =
       };
   }
 
-let run ?deadline ?(memory_capacity = 384 * 1024 * 1024) ~workers ~base_config ~graph
+let run ?obs ?deadline ?(memory_capacity = 384 * 1024 * 1024) ~workers ~base_config ~graph
     submissions =
   let options =
     {
@@ -39,7 +39,7 @@ let run ?deadline ?(memory_capacity = 384 * 1024 * 1024) ~workers ~base_config ~
     }
   in
   let report =
-    Async_engine.run ~options ?deadline
+    Async_engine.run ~options ?obs ?deadline
       ~cluster_config:(cluster_config ~workers ~base:base_config)
       ~channel_config:Channel.default_config ~graph submissions
   in

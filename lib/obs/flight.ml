@@ -1,0 +1,136 @@
+(* Per-query flight recorder: named time series sampled against the
+   simulated clock (progression-weight trajectory, per-partition queue
+   depth, in-flight traversers, memo footprint).
+
+   Each series keeps at most [capacity] points. When full, the series is
+   decimated in place — every other point is discarded and the sampling
+   stride doubles — so a series bounds its memory while keeping an evenly
+   thinned view of the whole run rather than just a prefix or suffix.
+
+   Series are stored in a Vec and looked up linearly by name, never
+   through a hash table, so registration and dump order are exactly
+   creation order and the JSON dump is deterministic. Hot paths avoid the
+   lookup entirely: [series] returns a handle once, and [sample] on a
+   handle is a couple of array writes. *)
+
+type series = {
+  s_name : string;
+  times : int Vec.t; (* Sim_time.t = int *)
+  values : float Vec.t;
+  capacity : int;
+  mutable stride : int; (* record every [stride]-th offered sample *)
+  mutable countdown : int; (* offers until the next recorded sample *)
+  mutable seen : int; (* total samples offered, including thinned *)
+}
+
+type handle = series
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  all : series Vec.t;
+}
+
+let dummy_series =
+  {
+    s_name = "";
+    times = Vec.create ~dummy:0;
+    values = Vec.create ~dummy:0.0;
+    capacity = 0;
+    stride = 1;
+    countdown = 0;
+    seen = 0;
+  }
+
+let disabled = { enabled = false; capacity = 0; all = Vec.create ~dummy:dummy_series }
+
+let create ?(capacity = 512) () =
+  if capacity < 4 then invalid_arg "Flight.create";
+  { enabled = true; capacity; all = Vec.create ~dummy:dummy_series }
+
+let enabled t = t.enabled
+
+let series t name =
+  if not t.enabled then dummy_series
+  else begin
+    let found = ref None in
+    Vec.iter (fun s -> if !found = None && String.equal s.s_name name then found := Some s) t.all;
+    match !found with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          s_name = name;
+          times = Vec.create ~dummy:0;
+          values = Vec.create ~dummy:0.0;
+          capacity = t.capacity;
+          stride = 1;
+          countdown = 0;
+          seen = 0;
+        }
+      in
+      Vec.push t.all s;
+      s
+  end
+
+(* Halve the retained points (keep even indices) and double the stride. *)
+let decimate s =
+  let n = Vec.length s.times in
+  let keep = (n + 1) / 2 in
+  for i = 0 to keep - 1 do
+    Vec.set s.times i (Vec.get s.times (2 * i));
+    Vec.set s.values i (Vec.get s.values (2 * i))
+  done;
+  while Vec.length s.times > keep do
+    ignore (Vec.pop s.times);
+    ignore (Vec.pop s.values)
+  done;
+  s.stride <- s.stride * 2
+
+let sample t (h : handle) ~time value =
+  if t.enabled && h.capacity > 0 then begin
+    h.seen <- h.seen + 1;
+    if h.countdown > 0 then h.countdown <- h.countdown - 1
+    else begin
+      if Vec.length h.times >= h.capacity then decimate h;
+      Vec.push h.times (Sim_time.to_ns time);
+      Vec.push h.values value;
+      h.countdown <- h.stride - 1
+    end
+  end
+
+let n_series t = Vec.length t.all
+
+let points h = Vec.length h.times
+let seen h = h.seen
+
+let series_json s =
+  let n = Vec.length s.times in
+  let v_min = ref infinity and v_max = ref neg_infinity and v_sum = ref 0.0 in
+  Vec.iter
+    (fun v ->
+      if v < !v_min then v_min := v;
+      if v > !v_max then v_max := v;
+      v_sum := !v_sum +. v)
+    s.values;
+  let opt_float x = if n = 0 then Json.Null else Json.Float x in
+  Json.Obj
+    [
+      ("name", Json.Str s.s_name);
+      ("points", Json.Int n);
+      ("seen", Json.Int s.seen);
+      ("stride", Json.Int s.stride);
+      ("t_first", if n = 0 then Json.Null else Json.Int (Vec.get s.times 0));
+      ("t_last", if n = 0 then Json.Null else Json.Int (Vec.get s.times (n - 1)));
+      ("v_min", opt_float !v_min);
+      ("v_max", opt_float !v_max);
+      ("v_mean", opt_float (if n = 0 then 0.0 else !v_sum /. float_of_int n));
+      ("v_last", if n = 0 then Json.Null else Json.Float (Vec.last s.values));
+      ("t", Json.List (Vec.to_list s.times |> List.map (fun ns -> Json.Int ns)));
+      ("v", Json.List (Vec.to_list s.values |> List.map (fun v -> Json.Float v)));
+    ]
+
+let to_json t =
+  let out = ref [] in
+  Vec.iter (fun s -> out := series_json s :: !out) t.all;
+  Json.Obj [ ("series", Json.List (List.rev !out)) ]

@@ -1,0 +1,34 @@
+(** Per-query flight recorder: bounded named time series over simulated
+    time, with stride-doubling decimation once a series fills. *)
+
+type t
+
+(** Opaque per-series handle; cheap to sample through. *)
+type handle
+
+(** Shared no-op recorder. *)
+val disabled : t
+
+(** [create ~capacity ()] bounds every series to [capacity] retained
+    points (default 512, minimum 4). *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Find-or-create the series [name]; deterministic creation order.
+    On the disabled recorder returns an inert handle. *)
+val series : t -> string -> handle
+
+(** Offer one observation; thinned by the series' current stride. *)
+val sample : t -> handle -> time:Sim_time.t -> float -> unit
+
+val n_series : t -> int
+
+(** Retained points in the series. *)
+val points : handle -> int
+
+(** Total samples offered, including thinned ones. *)
+val seen : handle -> int
+
+(** All series (creation order) with summary stats and retained points. *)
+val to_json : t -> Json.t

@@ -1,0 +1,18 @@
+(** Minimal deterministic JSON tree: field order preserved, fixed float
+    formatting, non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Raw of string  (** preformatted number, emitted verbatim *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_channel : out_channel -> t -> unit
+
+(** Write [t] followed by a newline. *)
+val write_file : string -> t -> unit

@@ -1,0 +1,13 @@
+(** Per-run observability bundle: trace + flight recorder + operator
+    stats, passed to engines as one optional argument. *)
+
+type t
+
+(** Shared no-op bundle; safe to thread everywhere by default. *)
+val disabled : t
+
+val create : ?trace_capacity:int -> ?flight_capacity:int -> unit -> t
+val enabled : t -> bool
+val trace : t -> Trace.t
+val flight : t -> Flight.t
+val opstats : t -> Opstats.t

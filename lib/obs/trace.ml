@@ -1,0 +1,188 @@
+(* Query-scoped sim-time span/event recorder.
+
+   Records per-worker spans (step execution, flushes, quanta, supersteps)
+   and per-query instants (submit, partition first-touch, phase
+   transitions, tracker receipts, completion) against the *simulated*
+   clock — never the host clock, so a trace of a seeded run is
+   byte-identical on every machine. Storage is a bounded ring: when the
+   ring fills, the oldest events are overwritten and counted as dropped,
+   which keeps the recorder usable on long runs without growing memory.
+
+   The disabled recorder is a shared zero-capacity singleton; every
+   recording entry point returns before touching any state, so engines
+   can thread a tracer unconditionally and pay only a branch when tracing
+   is off. *)
+
+type arg =
+  | I of int
+  | S of string
+  | F of float
+
+type phase =
+  | Span
+  | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  tid : int; (* track: worker id, or a synthetic query/NIC track *)
+  ts : Sim_time.t;
+  dur : Sim_time.t; (* zero for instants *)
+  args : (string * arg) list;
+}
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  ring : event array;
+  mutable start : int; (* index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let dummy_event =
+  { ph = Instant; name = ""; cat = ""; tid = 0; ts = Sim_time.zero; dur = Sim_time.zero; args = [] }
+
+let disabled =
+  { enabled = false; capacity = 0; ring = [||]; start = 0; len = 0; dropped = 0 }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create";
+  { enabled = true; capacity; ring = Array.make capacity dummy_event; start = 0; len = 0; dropped = 0 }
+
+let enabled t = t.enabled
+let length t = t.len
+let dropped t = t.dropped
+
+let push t ev =
+  if t.enabled then begin
+    if t.len < t.capacity then begin
+      t.ring.((t.start + t.len) mod t.capacity) <- ev;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* Ring full: overwrite the oldest. *)
+      t.ring.(t.start) <- ev;
+      t.start <- (t.start + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+let span t ?(cat = "worker") ?(args = []) ~tid ~name ~ts ~dur () =
+  if t.enabled then push t { ph = Span; name; cat; tid; ts; dur; args }
+
+let instant t ?(cat = "query") ?(args = []) ~tid ~name ~ts () =
+  if t.enabled then push t { ph = Instant; name; cat; tid; ts; dur = Sim_time.zero; args }
+
+(* Oldest-to-newest iteration. *)
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.ring.((t.start + i) mod t.capacity)
+  done
+
+let events t =
+  let out = ref [] in
+  iter (fun ev -> out := ev :: !out) t;
+  List.rev !out
+
+(* Spans on one track must nest: for any two, either disjoint or one
+   contains the other. Sort by (track, start, -duration, insertion) and
+   sweep with a stack of open-span end times. *)
+let nesting_well_formed t =
+  let spans = ref [] in
+  let seq = ref 0 in
+  iter
+    (fun ev ->
+      incr seq;
+      if ev.ph = Span then spans := (ev.tid, ev.ts, ev.dur, !seq) :: !spans)
+    t;
+  let spans =
+    List.sort
+      (fun (tid_a, ts_a, dur_a, seq_a) (tid_b, ts_b, dur_b, seq_b) ->
+        let c = Int.compare tid_a tid_b in
+        if c <> 0 then c
+        else
+          let c = Sim_time.compare ts_a ts_b in
+          if c <> 0 then c
+          else
+            let c = Sim_time.compare dur_b dur_a in
+            if c <> 0 then c else Int.compare seq_a seq_b)
+      !spans
+  in
+  let ok = ref true in
+  let current_tid = ref min_int in
+  let stack = ref [] in
+  List.iter
+    (fun (tid, ts, dur, _) ->
+      if tid <> !current_tid then begin
+        current_tid := tid;
+        stack := []
+      end;
+      let finish = Sim_time.add ts dur in
+      (* Pop spans that ended at or before this start. *)
+      let rec pop () =
+        match !stack with
+        | top :: rest when Sim_time.compare top ts <= 0 ->
+          stack := rest;
+          pop ()
+        | _ -> ()
+      in
+      pop ();
+      (match !stack with
+      | top :: _ when Sim_time.compare finish top > 0 -> ok := false (* partial overlap *)
+      | _ -> ());
+      stack := finish :: !stack)
+    spans;
+  !ok
+
+(* --- Chrome trace-event export --- *)
+
+(* Chrome's [ts]/[dur] fields are microseconds; simulated nanoseconds are
+   emitted as fixed 3-decimal microseconds so no precision is lost and
+   the byte output is deterministic. *)
+let us_repr ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let arg_json = function
+  | I i -> Json.Int i
+  | S s -> Json.Str s
+  | F f -> Json.Float f
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("cat", Json.Str ev.cat);
+      ("ph", Json.Str (match ev.ph with Span -> "X" | Instant -> "i"));
+      ("ts", Json.Raw (us_repr (Sim_time.to_ns ev.ts)));
+    ]
+  in
+  let timing =
+    match ev.ph with
+    | Span -> [ ("dur", Json.Raw (us_repr (Sim_time.to_ns ev.dur))) ]
+    | Instant -> [ ("s", Json.Str "t") ]
+  in
+  let tail =
+    [ ("pid", Json.Int 0); ("tid", Json.Int ev.tid) ]
+    @
+    match ev.args with
+    | [] -> []
+    | args -> [ ("args", Json.Obj (List.map (fun (k, a) -> (k, arg_json a)) args)) ]
+  in
+  Json.Obj (base @ timing @ tail)
+
+let to_chrome_json t =
+  let events = ref [] in
+  iter (fun ev -> events := event_json ev :: !events) t;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.Str "simulated");
+            ("recorded", Json.Int t.len);
+            ("dropped", Json.Int t.dropped);
+          ] );
+    ]

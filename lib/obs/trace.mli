@@ -1,0 +1,73 @@
+(** Sim-time span/event recorder with bounded-ring storage and a
+    zero-cost disabled path; exports deterministic Chrome
+    [trace_event] JSON. *)
+
+type arg =
+  | I of int
+  | S of string
+  | F of float
+
+type phase =
+  | Span
+  | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  cat : string;
+  tid : int;
+  ts : Sim_time.t;
+  dur : Sim_time.t;
+  args : (string * arg) list;
+}
+
+type t
+
+(** Shared no-op recorder: every entry point returns immediately. *)
+val disabled : t
+
+(** Ring recorder retaining the newest [capacity] events. *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Events currently retained. *)
+val length : t -> int
+
+(** Events overwritten after the ring filled. *)
+val dropped : t -> int
+
+(** Record a completed span [ts, ts+dur) on track [tid]. *)
+val span :
+  t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  tid:int ->
+  name:string ->
+  ts:Sim_time.t ->
+  dur:Sim_time.t ->
+  unit ->
+  unit
+
+(** Record an instant event. *)
+val instant :
+  t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  tid:int ->
+  name:string ->
+  ts:Sim_time.t ->
+  unit ->
+  unit
+
+(** Oldest-to-newest iteration over retained events. *)
+val iter : (event -> unit) -> t -> unit
+
+val events : t -> event list
+
+(** Spans on every track nest properly (no partial overlap). *)
+val nesting_well_formed : t -> bool
+
+(** Chrome [trace_event] document ({["traceEvents"]} array of "X"/"i"
+    events; simulated nanoseconds emitted as fixed-point microseconds). *)
+val to_chrome_json : t -> Json.t

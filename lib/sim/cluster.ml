@@ -49,11 +49,22 @@ type config = {
 let default_config =
   { n_nodes = 8; workers_per_node = 16; net = Netmodel.default; costs = default_costs }
 
+type packet_info = {
+  src_node : int;
+  dst_node : int;
+  bytes : int;
+  nic_start : Sim_time.t;
+  arrival : Sim_time.t;
+}
+
 type t = {
   config : config;
   events : Event_queue.t;
   metrics : Metrics.t;
   nic_busy : Sim_time.t array; (* per-node NIC free-at time *)
+  mutable on_packet : (packet_info -> unit) option;
+      (* observability hook; the sim layer cannot depend on lib/obs, so
+         tracing subscribes through this plain callback *)
 }
 
 let create config =
@@ -64,7 +75,10 @@ let create config =
     events = Event_queue.create ();
     metrics = Metrics.create ();
     nic_busy = Array.make config.n_nodes Sim_time.zero;
+    on_packet = None;
   }
+
+let set_packet_hook t hook = t.on_packet <- hook
 
 let config t = t.config
 let events t = t.events
@@ -91,6 +105,9 @@ let send_packet t ~at ~src_node ~dst_node ~bytes arrive =
   t.nic_busy.(src_node) <- Sim_time.add start occupancy;
   Metrics.count_packet t.metrics bytes;
   let arrival = Sim_time.add (Sim_time.add start occupancy) t.config.net.Netmodel.wire_latency in
+  (match t.on_packet with
+  | None -> ()
+  | Some hook -> hook { src_node; dst_node; bytes; nic_start = start; arrival });
   Event_queue.schedule_at t.events ~time:arrival arrive
 
 (* Same-node shared-memory handoff (the §IV-B shortcut). *)

@@ -28,9 +28,21 @@ type config = {
 (** The paper's testbed shape: 8 nodes, 16 workers each, 200 Gbps. *)
 val default_config : config
 
+type packet_info = {
+  src_node : int;
+  dst_node : int;
+  bytes : int;
+  nic_start : Sim_time.t;  (** when the packet began serializing on the NIC *)
+  arrival : Sim_time.t;
+}
+
 type t
 
 val create : config -> t
+
+(** Observability hook invoked for every cross-node packet as it is
+    scheduled; [None] (the default) disables it. *)
+val set_packet_hook : t -> (packet_info -> unit) option -> unit
 val config : t -> config
 val events : t -> Event_queue.t
 val metrics : t -> Metrics.t

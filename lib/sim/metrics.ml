@@ -114,5 +114,5 @@ let pp ppf t =
     t.local_messages;
   List.iter
     (fun kind ->
-      Fmt.pf ppf " %s=%d" (kind_name kind) (messages t kind))
+      Fmt.pf ppf " %s=%d/%dB" (kind_name kind) (messages t kind) (message_bytes t kind))
     all_kinds

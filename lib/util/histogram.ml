@@ -51,6 +51,10 @@ let count t = t.total
 
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
 
+let sum t = t.sum
+let min_seen t = if t.total = 0 then None else Some t.min_seen
+let max_seen t = if t.total = 0 then None else Some t.max_seen
+
 let percentile t q =
   if t.total = 0 then 0.0
   else begin

@@ -9,6 +9,13 @@ val create : ?base:float -> ?growth:float -> ?buckets:int -> unit -> t
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float
+val sum : t -> float
+
+(** Smallest observation, or [None] when empty. *)
+val min_seen : t -> float option
+
+(** Largest observation, or [None] when empty. *)
+val max_seen : t -> float option
 
 (** Approximate percentile ([q] in [0,100]); bounded relative error given
     by the bucket growth ratio. *)

@@ -239,8 +239,50 @@ let test_metrics_counters () =
   Alcotest.(check int) "by kind" 1 (Metrics.messages m Metrics.Progress_msg);
   Alcotest.(check int) "bytes by kind" 80 (Metrics.message_bytes m Metrics.Traverser_msg);
   Alcotest.(check int) "total" 3 (Metrics.total_messages m);
+  (* pp reports both counts and bytes per kind. *)
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+    at 0
+  in
+  let rendered = Fmt.str "%a" Metrics.pp m in
+  List.iter
+    (fun kind ->
+      let expected =
+        Printf.sprintf "%s=%d/%dB" (Metrics.kind_name kind) (Metrics.messages m kind)
+          (Metrics.message_bytes m kind)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "pp shows %s" expected)
+        true (contains rendered expected))
+    Metrics.all_kinds;
+  Metrics.count_packet m 128;
+  Metrics.count_flush m;
+  Metrics.count_step m;
+  Metrics.count_edges m 7;
+  Metrics.count_spawn m;
+  Metrics.count_memo_op m;
+  Metrics.count_superstep m;
+  Metrics.count_tracker_update m;
+  Metrics.count_busy m 99;
+  Metrics.count_local_message m;
   Metrics.reset m;
-  Alcotest.(check int) "reset" 0 (Metrics.total_messages m)
+  Alcotest.(check int) "reset messages" 0 (Metrics.total_messages m);
+  List.iter
+    (fun kind ->
+      Alcotest.(check int) "reset kind bytes" 0 (Metrics.message_bytes m kind))
+    Metrics.all_kinds;
+  Alcotest.(check int) "reset packets" 0 (Metrics.packets m);
+  Alcotest.(check int) "reset packet bytes" 0 (Metrics.packet_bytes m);
+  Alcotest.(check int) "reset flushes" 0 (Metrics.flushes m);
+  Alcotest.(check int) "reset steps" 0 (Metrics.steps m);
+  Alcotest.(check int) "reset edges" 0 (Metrics.edges_scanned m);
+  Alcotest.(check int) "reset spawned" 0 (Metrics.spawned m);
+  Alcotest.(check int) "reset memo ops" 0 (Metrics.memo_ops m);
+  Alcotest.(check int) "reset supersteps" 0 (Metrics.supersteps m);
+  Alcotest.(check int) "reset tracker updates" 0 (Metrics.tracker_updates m);
+  Alcotest.(check int) "reset busy" 0 (Metrics.busy_ns m);
+  Alcotest.(check int) "reset local" 0 (Metrics.local_messages m)
 
 let () =
   Alcotest.run "sim"
