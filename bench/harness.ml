@@ -83,11 +83,11 @@ let cluster ~nodes ~workers =
 (* --- Engine runners (uniform closures over submissions) --- *)
 
 let run_graphdance ?(options = Async_engine.default_options)
-    ?(channel = Channel.default_config) ?(config = paper_cluster) graph subs =
-  Async_engine.run ~options ~cluster_config:config ~channel_config:channel ~graph subs
+    ?(channel = Channel.default_config) ?common ?(config = paper_cluster) graph subs =
+  Async_engine.run ~options ?common ~cluster_config:config ~channel_config:channel ~graph subs
 
-let run_bsp ?profile ?(config = paper_cluster) graph subs =
-  Bsp_engine.run ?profile ~cluster_config:config ~graph subs
+let run_bsp ?profile ?common ?(config = paper_cluster) graph subs =
+  Bsp_engine.run ?profile ?common ~cluster_config:config ~graph subs
 
 let run_flavor flavor ?(config = paper_cluster) graph subs =
   Async_engine.run

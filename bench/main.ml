@@ -30,9 +30,11 @@ let experiments =
     ("partition", "Ablation: partition strategies", Bench_partition.run);
     ("micro", "Microbenchmarks", Bench_micro.run);
     ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
+    ("faults", "Fault sweep: GraphDance under an unreliable network", Bench_faults.run);
   ]
 
-let aliases = [ ("fig11", "fig10") ]
+(* "--faults" is accepted as a spelling of the faults experiment. *)
+let aliases = [ ("fig11", "fig10"); ("--faults", "faults") ]
 
 let run_one name =
   let name = Option.value ~default:name (List.assoc_opt name aliases) in
@@ -68,8 +70,9 @@ let () =
   Harness.json_enabled := json_path <> None;
   (match names with
   | [] ->
-    (* Everything in paper order; smoke is a CI fixture, not a figure. *)
-    List.iter (fun (n, _, _) -> if n <> "smoke" then run_one n) experiments
+    (* Everything in paper order; smoke and faults are CI fixtures, not
+       figures. *)
+    List.iter (fun (n, _, _) -> if n <> "smoke" && n <> "faults" then run_one n) experiments
   | names -> List.iter run_one names);
   match json_path with
   | None -> ()

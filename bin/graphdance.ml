@@ -5,11 +5,13 @@
      query    -d DS -q "..."  run a Gremlin query on a dataset
      explain  -d DS -q "..."  show the optimized plan without running it
      trace    -d DS -q "..."  run with tracing: operator stats + Chrome trace
+     chaos    -d DS -q "..."  run under injected faults, checked against the oracle
      ldbc     -d snb-s        run one pass of the LDBC IC/IS queries
      verify   -d DS [-q ...]  static-verify one query, or the LDBC suite
 
    Queries run on the simulated cluster; reported latency is simulated
-   time on the modeled hardware (see DESIGN.md). *)
+   time on the modeled hardware (see DESIGN.md). Engines are addressed
+   by their Registry name (-e graphdance|bsp|local|...). *)
 
 open Cmdliner
 open Pstm_engine
@@ -45,9 +47,11 @@ let query_arg =
   Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
 
 let engine_arg =
-  let doc = "Execution engine: async (GraphDance), bsp, or local (reference)." in
-  Arg.(value & opt (enum [ ("async", `Async); ("bsp", `Bsp); ("local", `Local) ]) `Async
-       & info [ "e"; "engine" ] ~doc)
+  let doc =
+    Fmt.str "Execution engine: %s (or async, an alias for graphdance)."
+      (String.concat ", " (Registry.names ()))
+  in
+  Arg.(value & opt string "graphdance" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
 let nodes_arg =
   let doc = "Simulated cluster nodes." in
@@ -90,24 +94,29 @@ let compile_query graph text =
     | exception Compile.Error message -> Error ("compile error: " ^ message)
   end
 
+(* Resolve an engine name against a registry built for the requested
+   topology. *)
+let resolve_engine ~config name =
+  let registry = Registry.make ~cluster_config:config () in
+  match Registry.find ~registry name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Fmt.str "unknown engine %S (available: %s, or async)" name
+         (String.concat ", " (Registry.names ~registry ())))
+
 let run_query dataset text engine nodes workers =
   let ( let* ) = Result.bind in
   let* graph = load_graph dataset in
   let* program = compile_query graph text in
   let config = { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers } in
-  let rows, latency =
-    match engine with
-    | `Local -> (Local_engine.run graph program, None)
-    | `Async ->
-      let report =
-        Async_engine.run ~cluster_config:config ~channel_config:Channel.default_config ~graph
-          [| Engine.submit program |]
-      in
-      (report.Engine.queries.(0).Engine.rows, Engine.latency report.Engine.queries.(0))
-    | `Bsp ->
-      let report = Bsp_engine.run ~cluster_config:config ~graph [| Engine.submit program |] in
-      (report.Engine.queries.(0).Engine.rows, Engine.latency report.Engine.queries.(0))
-  in
+  let* (module E : Engine.S) = resolve_engine ~config engine in
+  let report = E.run ~graph [| Engine.submit program |] in
+  let q = report.Engine.queries.(0) in
+  let rows = q.Engine.rows in
+  (* The oracle has no clock, so its synthesized report carries no
+     meaningful latency. *)
+  let latency = if E.name = "local" then None else Engine.latency q in
   List.iter (fun row -> Fmt.pr "%a@." (Fmt.array ~sep:(Fmt.any " | ") Value.pp) row) rows;
   Fmt.pr "-- %d row(s)%a@." (List.length rows)
     (fun ppf -> function
@@ -216,13 +225,15 @@ let trace_cmd =
          { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
        in
        let obs = Pstm_obs.Recorder.create () in
+       let common = Engine.Common.with_obs obs Engine.Common.default in
        let report =
          match engine with
          | `Async ->
-           Async_engine.run ~obs ~cluster_config:config ~channel_config:Channel.default_config
-             ~graph
+           Async_engine.run ~common ~cluster_config:config
+             ~channel_config:Channel.default_config ~graph
              [| Engine.submit program |]
-         | `Bsp -> Bsp_engine.run ~obs ~cluster_config:config ~graph [| Engine.submit program |]
+         | `Bsp ->
+           Bsp_engine.run ~common ~cluster_config:config ~graph [| Engine.submit program |]
        in
        let q = report.Engine.queries.(0) in
        let step_label i = Step.op_summary (Program.step program i).Step.op in
@@ -244,6 +255,138 @@ let trace_cmd =
     Term.(
       const run $ dataset_arg $ query_arg $ trace_engine_arg $ nodes_arg $ workers_arg
       $ trace_out_arg)
+
+let chaos_cmd =
+  let drop_arg =
+    let doc = "Probability of dropping each cross-node packet." in
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~docv:"P" ~doc)
+  in
+  let dup_arg =
+    let doc = "Probability of duplicating each cross-node packet." in
+    Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc)
+  in
+  let delay_prob_arg =
+    let doc = "Probability of a delay spike on each cross-node packet." in
+    Arg.(value & opt float 0.0 & info [ "delay-prob" ] ~docv:"P" ~doc)
+  in
+  let delay_us_arg =
+    let doc = "Delay-spike magnitude in simulated microseconds." in
+    Arg.(value & opt int 200 & info [ "delay-us" ] ~docv:"US" ~doc)
+  in
+  let slow_arg =
+    let doc = "Straggler node as NODE:FACTOR (e.g. 0:3.0); repeatable." in
+    Arg.(value & opt_all string [] & info [ "slow" ] ~docv:"NODE:FACTOR" ~doc)
+  in
+  let pause_arg =
+    let doc = "Pause window as NODE:FROM_US:DUR_US (e.g. 1:100:500); repeatable." in
+    Arg.(value & opt_all string [] & info [ "pause" ] ~docv:"NODE:FROM_US:DUR_US" ~doc)
+  in
+  let seed_arg =
+    let doc = "Fault-schedule seed; same seed, same workload: same run, byte for byte." in
+    Arg.(value & opt int 0xFA01 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let deadline_ms_arg =
+    let doc = "Optional deadline in simulated milliseconds; queries past it report TIMEOUT." in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let parse_slow s =
+    match String.split_on_char ':' s with
+    | [ node; factor ] -> begin
+      match (int_of_string_opt node, float_of_string_opt factor) with
+      | Some n, Some f -> Ok (n, f)
+      | _ -> Error (Fmt.str "bad --slow %S (expected NODE:FACTOR)" s)
+    end
+    | _ -> Error (Fmt.str "bad --slow %S (expected NODE:FACTOR)" s)
+  in
+  let parse_pause s =
+    match String.split_on_char ':' s with
+    | [ node; from_us; dur_us ] -> begin
+      match (int_of_string_opt node, int_of_string_opt from_us, int_of_string_opt dur_us) with
+      | Some n, Some f, Some d ->
+        Ok (Faults.pause ~node:n ~from_:(Sim_time.us f) ~until:(Sim_time.us (f + d)))
+      | _ -> Error (Fmt.str "bad --pause %S (expected NODE:FROM_US:DUR_US)" s)
+    end
+    | _ -> Error (Fmt.str "bad --pause %S (expected NODE:FROM_US:DUR_US)" s)
+  in
+  let rec parse_all parse = function
+    | [] -> Ok []
+    | x :: rest ->
+      Result.bind (parse x) (fun v -> Result.map (fun vs -> v :: vs) (parse_all parse rest))
+  in
+  let run dataset text engine nodes workers drop dup delay_prob delay_us slow pauses seed
+      deadline_ms =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* graph = load_graph dataset in
+       let* program = compile_query graph text in
+       let* slow_nodes = parse_all parse_slow slow in
+       let* pauses = parse_all parse_pause pauses in
+       let config =
+         { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+       in
+       let* (module E : Engine.S) = resolve_engine ~config engine in
+       let spec =
+         {
+           Faults.none with
+           Faults.seed;
+           drop;
+           duplicate = dup;
+           delay_prob;
+           delay = Sim_time.us delay_us;
+           slow_nodes;
+           pauses;
+         }
+       in
+       let common =
+         {
+           Engine.Common.default with
+           Engine.Common.check = true;
+           faults = Some spec;
+           deadline = Option.map Sim_time.ms deadline_ms;
+         }
+       in
+       let* report =
+         match E.run ~common ~graph [| Engine.submit program |] with
+         | report -> Ok report
+         | exception Engine.Check_violation message -> Error ("sanitizer: " ^ message)
+         | exception Invalid_argument message -> Error message
+       in
+       let q = report.Engine.queries.(0) in
+       (match q.Engine.completed with
+       | Some _ ->
+         let oracle = Engine.sorted_rows (Local_engine.run graph program) in
+         let got = Engine.sorted_rows q.Engine.rows in
+         if got = oracle then
+           Fmt.pr "completed: %d row(s), exact match against the oracle@."
+             (List.length got)
+         else
+           Fmt.pr "completed: %d row(s), MISMATCH against the oracle (%d row(s))@."
+             (List.length got) (List.length oracle)
+       | None -> Fmt.pr "TIMEOUT (graceful: state reclaimed, no results)@.");
+       Fmt.pr "%a@." Engine.pp_query q;
+       let m = report.Engine.metrics in
+       Fmt.pr
+         "faults: drops=%d dups=%d delays=%d | recovery: retransmits=%d dedup-discards=%d \
+          acks=%d abandoned=%d@."
+         (Metrics.fault_drops m) (Metrics.fault_dups m) (Metrics.fault_delays m)
+         (Metrics.retransmits m) (Metrics.dup_dropped m) (Metrics.acks m)
+         (Metrics.abandoned m);
+       (* A completed query under an active sanitizer is the whole point:
+          faults hit, recovery absorbed them, invariants held. *)
+       match q.Engine.completed with
+       | Some _ -> Ok ()
+       | None when deadline_ms <> None -> Ok ()
+       | None -> Error "query did not complete and no deadline was set")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a query under injected faults (drop/duplicate/delay, stragglers, pauses) with \
+          the sanitizer on, and check results against the reference oracle")
+    Term.(
+      const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg $ drop_arg
+      $ dup_arg $ delay_prob_arg $ delay_us_arg $ slow_arg $ pause_arg $ seed_arg
+      $ deadline_ms_arg)
 
 let ldbc_cmd =
   let per_query_arg =
@@ -306,4 +449,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ datasets_cmd; query_cmd; explain_cmd; trace_cmd; ldbc_cmd; verify_cmd ]))
+       (Cmd.group info
+          [ datasets_cmd; query_cmd; explain_cmd; trace_cmd; chaos_cmd; ldbc_cmd; verify_cmd ]))

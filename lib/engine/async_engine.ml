@@ -39,8 +39,7 @@ type options = {
   weight_coalescing : bool;
   shared_state : bool;
   quantum : int; (* tasks per worker scheduling quantum *)
-  seed : int;
-  mem_capacity : int option; (* per-node memory, for the single-node study *)
+  memory_capacity : int option; (* per-node memory, for the single-node study *)
   swap_penalty : int; (* data-access multiplier when the graph exceeds memory *)
   partition : Partition.strategy; (* the H of the partitioned graph model *)
 }
@@ -51,8 +50,7 @@ let default_options =
     weight_coalescing = true;
     shared_state = false;
     quantum = 64;
-    seed = 0x5157;
-    mem_capacity = None;
+    memory_capacity = None;
     swap_penalty = 40;
     partition = Partition.Hash;
   }
@@ -105,13 +103,33 @@ type worker = {
   members : int array Lazy.t; (* owned vertices, for Scan sources *)
 }
 
-let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check = false)
-    ?deadline ~cluster_config ~channel_config ~graph (submissions : Engine.submission array) =
+let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_config
+    ~channel_config ~graph (submissions : Engine.submission array) =
+  let obs = common.Engine.Common.obs in
+  let check = common.Engine.Common.check in
+  let deadline = common.Engine.Common.deadline in
   let cluster = Cluster.create cluster_config in
+  (* Fault plane (if any) attaches before the channel is created, so the
+     channel sees it and switches to reliable delivery. *)
+  let faults = Option.map Faults.create common.Engine.Common.faults in
+  Cluster.set_faults cluster faults;
   let events = Cluster.events cluster in
   let metrics = Cluster.metrics cluster in
   let costs = Cluster.costs cluster in
   let n_workers = Cluster.n_workers cluster in
+  (* Straggler injection: scale a worker's CPU costs by its node's factor.
+     Pause injection: defer a worker's quanta past the window's end. Both
+     are identity when no fault plane is attached. *)
+  let fault_scale w cost =
+    match faults with
+    | None -> cost
+    | Some f -> Faults.scale f ~node:(Cluster.node_of_worker cluster w) cost
+  in
+  let fault_release w time =
+    match faults with
+    | None -> time
+    | Some f -> Faults.release f ~node:(Cluster.node_of_worker cluster w) ~at:time
+  in
   (* Observability: every emission site is guarded by [obs_on] (or the
      recorder's own enabled flag), so the disabled path costs one branch. *)
   let obs_on = Pstm_obs.Recorder.enabled obs in
@@ -145,7 +163,7 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
     Partition.create ~strategy:options.partition ~n_parts:n_workers
       ~n_vertices:(Graph.n_vertices graph) ()
   in
-  let seed_prng = Prng.create options.seed in
+  let seed_prng = Prng.create common.Engine.Common.seed in
   (* Node-shared memos for the non-partitioned ablation. *)
   let node_memos = Array.init (Cluster.n_nodes cluster) (fun _ -> Memo.create ()) in
   let workers =
@@ -183,7 +201,7 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
   let active_op_count = ref 0 in
   (* --- Cost model ----------------------------------------------------- *)
   let swapping =
-    match options.mem_capacity with
+    match options.memory_capacity with
     | Some capacity -> Graph.bytes graph > capacity * Cluster.n_nodes cluster
     | None -> false
   in
@@ -220,6 +238,7 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
     if not w.awake then begin
       w.awake <- true;
       let time = max (Cluster.now cluster) w.busy_until in
+      let time = fault_release w.id time in
       Event_queue.schedule_at events ~time (fun () -> quantum w)
     end
   (* ---- Message / task processing ------------------------------------- *)
@@ -554,6 +573,13 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
        reschedules (staying awake) or goes to sleep explicitly. *)
     w.awake <- true;
     let quantum_start = max (Cluster.now cluster) w.busy_until in
+    let released = fault_release w.id quantum_start in
+    if Sim_time.compare released quantum_start > 0 then
+      (* Paused node: the whole quantum defers to the window's end.
+         [awake] stays true so no duplicate quantum gets scheduled. *)
+      Event_queue.schedule_at events ~time:released (fun () -> quantum w)
+    else run_quantum w quantum_start
+  and run_quantum w quantum_start =
     let local = ref quantum_start in
     if obs_on then begin
       Pstm_obs.Flight.sample flight fl_queue.(w.id) ~time:quantum_start
@@ -564,19 +590,21 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
     end;
     (* Dataflow flavors poll every live operator instance each quantum. *)
     if options.flavor <> Graphdance && !active_op_count > 0 then
-      local := Sim_time.add !local (costs.Cluster.operator_sched * !active_op_count);
+      local :=
+        Sim_time.add !local
+          (fault_scale w.id (costs.Cluster.operator_sched * !active_op_count));
     let budget = ref options.quantum in
     while !budget > 0 && not (Queue.is_empty w.tasks) do
       decr budget;
       let payload = Queue.pop w.tasks in
-      local := Sim_time.add !local (process w ~at:!local payload)
+      local := Sim_time.add !local (fault_scale w.id (process w ~at:!local payload))
     done;
     (* Coalesced weights ship when the worker idles or once enough have
        merged locally to justify a message (§IV-A: they ride along with
        buffer flushes, not with every death). *)
     if Queue.is_empty w.tasks || Progress.pending_additions w.coalescer >= 256 then begin
       let flush_at = !local in
-      let flush_cost = flush_progress ~at:flush_at w in
+      let flush_cost = fault_scale w.id (flush_progress ~at:flush_at w) in
       if obs_on && Sim_time.compare flush_cost Sim_time.zero > 0 then
         Pstm_obs.Trace.span trace ~tid:w.id ~name:"flush_progress" ~ts:flush_at ~dur:flush_cost ();
       local := Sim_time.add !local flush_cost
@@ -585,7 +613,7 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
       (* Out of work: flush the tier-1 buffers before sleeping (§IV-B). *)
       w.awake <- false;
       let flush_at = !local in
-      let flush_cost = Channel.flush_worker (channel ()) ~at:flush_at ~worker:w.id in
+      let flush_cost = fault_scale w.id (Channel.flush_worker (channel ()) ~at:flush_at ~worker:w.id) in
       if obs_on && Sim_time.compare flush_cost Sim_time.zero > 0 then
         Pstm_obs.Trace.span trace ~tid:w.id ~name:"flush_channel" ~ts:flush_at ~dur:flush_cost ();
       local := Sim_time.add !local flush_cost
@@ -664,17 +692,32 @@ let run ?(options = default_options) ?(obs = Pstm_obs.Recorder.disabled) ?(check
     (* Drop whatever is still in flight: those queries report as timeouts. *)
     ()
   | None -> Event_queue.run_to_completion events);
-  (* Sanitizer post-conditions, only meaningful when the run was not cut
-     short: every query must have terminated (weight loss wedges the
-     tracker forever) and every memo must be empty (P_cleanup is
-     broadcast at completion; a survivor is a query-scoping leak). *)
-  if check && deadline = None then begin
+  (* Graceful degradation: when delivery was cut short — a deadline
+     truncated the run, or the reliable channel abandoned a packet after
+     max retries — some queries end unfinished and some in-flight
+     P_cleanup broadcasts never land. Those queries report TIMEOUT; here
+     the coordinator reclaims their state so nothing wedges the tracker
+     or leaks memo entries into the next run. The loop walks qids in
+     order (not the hashtable) to stay deterministic. *)
+  let abandoned = Metrics.abandoned metrics > 0 in
+  if deadline <> None || abandoned then
     for qid = 0 to Array.length submissions - 1 do
       let q = query qid in
-      if q.completed = None then
-        Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
-          qid
+      if q.completed = None then q.active <- false;
+      Array.iter (fun w -> Memo.clear_query w.memo qid) workers
     done;
+  (* Sanitizer post-conditions. Termination of every query only holds
+     when delivery ran to completion (no deadline, nothing abandoned) —
+     the reliable channel makes it hold even under drop/dup/delay
+     faults. Memo emptiness holds always, thanks to the reclaim above. *)
+  if check then begin
+    if deadline = None && not abandoned then
+      for qid = 0 to Array.length submissions - 1 do
+        let q = query qid in
+        if q.completed = None then
+          Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
+            qid
+      done;
     Array.iter
       (fun w ->
         let n = Memo.live_entries w.memo in

@@ -19,8 +19,7 @@ type options = {
   weight_coalescing : bool;
   shared_state : bool;
   quantum : int;
-  seed : int;
-  mem_capacity : int option;
+  memory_capacity : int option;
       (** per-node memory budget; a graph exceeding the cluster total
           makes data access pay [swap_penalty] (the single-node study) *)
   swap_penalty : int;
@@ -29,23 +28,29 @@ type options = {
 
 val default_options : options
 
-(** Run the submissions to completion (or until [deadline]) on a simulated
-    cluster; returns latencies, rows, and channel metrics.
+(** Run the submissions to completion (or until [common.deadline]) on a
+    simulated cluster; returns latencies, rows, and channel metrics.
 
-    [check] enables the runtime sanitizer: per-exec weight conservation,
-    tracker overshoot detection, and (when no deadline cuts the run
-    short) termination of every query plus memo emptiness at the end;
-    the first violated invariant raises {!Engine.Check_violation}.
+    [common] carries the cross-cutting knobs shared by every engine
+    ({!Engine.Common}): recorder, sanitizer mode, deadline, placement
+    seed and an optional fault schedule.
 
-    [obs] attaches a query-scoped recorder (trace spans per step /
-    flush / quantum, per-query instants, flight-recorder series, and
-    per-step operator stats); the default disabled recorder costs one
-    branch per emission site. *)
+    [common.check] enables the runtime sanitizer: per-exec weight
+    conservation, tracker overshoot detection, and (when neither a
+    deadline nor an abandoned packet cut delivery short) termination of
+    every query plus memo emptiness at the end; the first violated
+    invariant raises {!Engine.Check_violation}.
+
+    [common.faults] attaches a deterministic fault plane: packets can
+    drop, duplicate or take delay spikes, nodes can run slow or pause —
+    and the channel switches to sequence-numbered reliable delivery so
+    completed queries still return exact results. Queries that cannot
+    finish (a partition paused past the deadline, a packet abandoned
+    after max retries) degrade to TIMEOUT with their memos reclaimed
+    rather than wedging the tracker. *)
 val run :
   ?options:options ->
-  ?obs:Pstm_obs.Recorder.t ->
-  ?check:bool ->
-  ?deadline:Sim_time.t ->
+  ?common:Engine.Common.t ->
   cluster_config:Cluster.config ->
   channel_config:Channel.config ->
   graph:Graph.t ->

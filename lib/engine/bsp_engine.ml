@@ -49,8 +49,18 @@ type profile =
 
 let profile_name = function Ablation -> "bsp-ablation" | Tigergraph_role -> "tigergraph-role"
 
-let run ?(profile = Ablation) ?(obs = Pstm_obs.Recorder.disabled) ?(check = false) ?deadline
-    ~cluster_config ~graph (submissions : Engine.submission array) =
+let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config ~graph
+    (submissions : Engine.submission array) =
+  let obs = common.Engine.Common.obs in
+  let check = common.Engine.Common.check in
+  let deadline = common.Engine.Common.deadline in
+  (* Fault plane: only the schedule-driven faults apply here. The bulk
+     exchange is closed-form (one reliable transfer per superstep, no
+     per-packet events), so drop/duplicate/delay verdicts have nothing to
+     attach to; stragglers scale a node's compute and a paused node
+     stalls the barrier until its release — which is exactly the BSP
+     pathology the paper highlights. *)
+  let faults = Option.map Faults.create common.Engine.Common.faults in
   let cluster = Cluster.create cluster_config in
   let obs_on = Pstm_obs.Recorder.enabled obs in
   let trace = Pstm_obs.Recorder.trace obs in
@@ -260,6 +270,15 @@ let run ?(profile = Ablation) ?(obs = Pstm_obs.Recorder.disabled) ?(check = fals
       let node = Cluster.node_of_worker cluster w in
       node_compute.(node) <- max node_compute.(node) compute.(w)
     done;
+    (match faults with
+    | None -> ()
+    | Some f ->
+      (* A straggler node stretches its compute; a paused node cannot
+         start until its window releases. Either way the barrier waits. *)
+      for node = 0 to n_nodes - 1 do
+        let stall = Sim_time.diff (Faults.release f ~node ~at:clock0) clock0 in
+        node_compute.(node) <- Sim_time.add stall (Faults.scale f ~node node_compute.(node))
+      done);
     let all_compute = Array.fold_left max Sim_time.zero node_compute in
     let comm_end = ref all_compute in
     for src = 0 to n_nodes - 1 do

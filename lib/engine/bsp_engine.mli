@@ -8,16 +8,18 @@ type profile =
 
 val profile_name : profile -> string
 
-(** [check] enables the runtime sanitizer (per-exec weight conservation;
-    termination and memo emptiness when no deadline applies); violations
-    raise {!Engine.Check_violation}. [obs] attaches a query-scoped
-    recorder (per-worker compute and superstep/barrier spans, per-query
-    instants, frontier-depth flight series, per-step operator stats). *)
+(** [common.check] enables the runtime sanitizer (per-exec weight
+    conservation; termination and memo emptiness when no deadline
+    applies); violations raise {!Engine.Check_violation}. [common.obs]
+    attaches a query-scoped recorder (per-worker compute and
+    superstep/barrier spans, per-query instants, frontier-depth flight
+    series, per-step operator stats). Of [common.faults], only the
+    schedule-driven faults apply: stragglers stretch a node's compute
+    and pauses stall the barrier; the bulk exchange is closed-form, so
+    the per-packet drop/duplicate/delay verdicts have no effect. *)
 val run :
   ?profile:profile ->
-  ?obs:Pstm_obs.Recorder.t ->
-  ?check:bool ->
-  ?deadline:Sim_time.t ->
+  ?common:Engine.Common.t ->
   cluster_config:Cluster.config ->
   graph:Graph.t ->
   Engine.submission array ->

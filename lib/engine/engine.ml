@@ -18,6 +18,38 @@ type submission = {
 
 let submit ?(at = Sim_time.zero) program = { program; at }
 
+(* --- Common run options ------------------------------------------------
+
+   Every engine takes the same cross-cutting knobs — tracing, sanitizer
+   mode, wall-clock deadline, placement seed and (optionally) a fault
+   schedule — so they live in one record passed as [?common] instead of
+   a copy-pasted [?obs ?check ?deadline] triple per engine. *)
+
+module Common = struct
+  type t = {
+    obs : Pstm_obs.Recorder.t; (* trace/flight/opstats sink *)
+    check : bool; (* dynamic sanitizer (Check_violation on failure) *)
+    deadline : Sim_time.t option; (* stop the run at this simulated time *)
+    seed : int; (* placement / tie-break randomness *)
+    faults : Faults.spec option; (* deterministic fault schedule *)
+  }
+
+  let default =
+    {
+      obs = Pstm_obs.Recorder.disabled;
+      check = false;
+      deadline = None;
+      seed = 0x5157;
+      faults = None;
+    }
+
+  let with_obs obs t = { t with obs }
+  let with_check check t = { t with check }
+  let with_deadline deadline t = { t with deadline }
+  let with_seed seed t = { t with seed }
+  let with_faults faults t = { t with faults }
+end
+
 type query_report = {
   qid : int;
   name : string;
@@ -66,6 +98,17 @@ let pp_query ppf q =
   Fmt.pf ppf "%s: %s, %d rows" q.name
     (match latency q with Some l -> Fmt.str "%a" Sim_time.pp l | None -> "TIMEOUT")
     (List.length q.rows)
+
+(* --- Engine interface --------------------------------------------------
+
+   The uniform surface every engine implements; {!Registry} wraps the
+   concrete engines as first-class modules against this signature so the
+   CLI and benchmarks dispatch by name instead of hand-written matches. *)
+
+module type S = sig
+  val name : string
+  val run : ?common:Common.t -> graph:Graph.t -> submission array -> report
+end
 
 (* --- Observability ---------------------------------------------------- *)
 

@@ -7,7 +7,11 @@
    produce the same rows as this one on the deterministic query fragment
    (see test/test_engines.ml). *)
 
-let run ?(obs = Pstm_obs.Recorder.disabled) ?(check = false) graph program =
+let run ?(common = Engine.Common.default) graph program =
+  let obs = common.Engine.Common.obs in
+  let check = common.Engine.Common.check in
+  (* No cluster, no clock: deadline, seed and faults cannot apply here —
+     the oracle is the fault-free semantic ground truth. *)
   (* The oracle has no simulated clock, so only operator stats are
      recorded (busy time stays zero); trace and flight need timestamps. *)
   let obs_on = Pstm_obs.Recorder.enabled obs in

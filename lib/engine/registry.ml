@@ -1,0 +1,96 @@
+(* Engine registry: every engine behind the uniform {!Engine.S} surface.
+
+   The concrete engines keep richer native signatures (async options,
+   BSP profiles, topology configs); the registry wraps each as a
+   first-class module with the topology fixed at [make] time, so the CLI
+   and benchmarks dispatch purely by name. This module sits outside
+   engine.ml because the engines themselves depend on Engine. *)
+
+let local_report (s : Engine.submission array) rows_of =
+  (* The oracle has no clock or cluster; synthesize a report so it fits
+     the common surface (zero metrics, instant completion). *)
+  {
+    Engine.engine = "local";
+    queries =
+      Array.mapi
+        (fun qid (sub : Engine.submission) ->
+          {
+            Engine.qid;
+            name = Program.name sub.Engine.program;
+            submitted = sub.Engine.at;
+            completed = Some sub.Engine.at;
+            rows = rows_of sub;
+          })
+        s;
+    makespan =
+      Array.fold_left (fun acc (sub : Engine.submission) -> max acc sub.Engine.at) Sim_time.zero s;
+    metrics = Metrics.create ();
+    events = 0;
+    worker_busy = [| Sim_time.zero |];
+  }
+
+let make ?(cluster_config = Cluster.default_config)
+    ?(channel_config = Channel.default_config) () : (string * (module Engine.S)) list =
+  let async_flavor flavor : (module Engine.S) =
+    (module struct
+      let name = Async_engine.flavor_name flavor
+
+      let run ?common ~graph submissions =
+        let options = { Async_engine.default_options with Async_engine.flavor } in
+        Async_engine.run ~options ?common ~cluster_config ~channel_config ~graph submissions
+    end)
+  in
+  let bsp profile : (module Engine.S) =
+    (module struct
+      let name = Bsp_engine.profile_name profile
+
+      let run ?common ~graph submissions =
+        Bsp_engine.run ~profile ?common ~cluster_config ~graph submissions
+    end)
+  in
+  let single_node : (module Engine.S) =
+    (module struct
+      let name = "single-node"
+
+      let run ?common ~graph submissions =
+        Single_node_engine.run ?common
+          ~workers:(cluster_config.Cluster.n_nodes * cluster_config.Cluster.workers_per_node)
+          ~base_config:cluster_config ~graph submissions
+    end)
+  in
+  let local : (module Engine.S) =
+    (module struct
+      let name = "local"
+
+      let run ?common ~graph submissions =
+        local_report submissions (fun (sub : Engine.submission) ->
+            Local_engine.run ?common graph sub.Engine.program)
+    end)
+  in
+  [
+    ("graphdance", async_flavor Async_engine.Graphdance);
+    ("banyan-like", async_flavor Async_engine.Banyan_like);
+    ("gaia-like", async_flavor Async_engine.Gaia_like);
+    ("bsp", bsp Bsp_engine.Ablation);
+    ("tigergraph-role", bsp Bsp_engine.Tigergraph_role);
+    ("single-node", single_node);
+    ("local", local);
+  ]
+
+let default = make ()
+
+let names ?(registry = default) () = List.map fst registry
+
+(* "async" survives as an alias for the flagship engine. *)
+let resolve_name name = match name with "async" -> "graphdance" | n -> n
+
+let find ?(registry = default) name =
+  List.assoc_opt (resolve_name name) registry
+
+let find_exn ?(registry = default) name =
+  match find ~registry name with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Fmt.str "unknown engine %S (expected one of: %s)" name
+         (String.concat ", " (names ~registry ())))

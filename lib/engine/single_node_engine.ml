@@ -29,17 +29,17 @@ let cluster_config ~workers ~(base : Cluster.config) =
       };
   }
 
-let run ?obs ?deadline ?(memory_capacity = 384 * 1024 * 1024) ~workers ~base_config ~graph
+let run ?common ?(memory_capacity = 384 * 1024 * 1024) ~workers ~base_config ~graph
     submissions =
   let options =
     {
       Async_engine.default_options with
-      Async_engine.mem_capacity = Some memory_capacity;
+      Async_engine.memory_capacity = Some memory_capacity;
       swap_penalty = 60;
     }
   in
   let report =
-    Async_engine.run ~options ?obs ?deadline
+    Async_engine.run ~options ?common
       ~cluster_config:(cluster_config ~workers ~base:base_config)
       ~channel_config:Channel.default_config ~graph submissions
   in

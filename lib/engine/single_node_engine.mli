@@ -3,8 +3,7 @@
     capacity that triggers swapping when the graph no longer fits. *)
 
 val run :
-  ?obs:Pstm_obs.Recorder.t ->
-  ?deadline:Sim_time.t ->
+  ?common:Engine.Common.t ->
   ?memory_capacity:int ->
   workers:int ->
   base_config:Cluster.config ->

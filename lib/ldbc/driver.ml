@@ -102,25 +102,33 @@ let summarize_mixed ~tcr report =
     report;
   }
 
+(* The mixed run stops shortly after issuance ends: whatever has not
+   completed by then counts against the on-time rule. [common] carries
+   the caller's obs/check/faults; its deadline is overridden here. *)
+let mixed_common common ~duration =
+  let common = Option.value common ~default:Engine.Common.default in
+  { common with Engine.Common.deadline = Some (Sim_time.add duration (Sim_time.ms 500)) }
+
 (* Run the mixed workload on the asynchronous (GraphDance) engine. *)
 let run_mixed_async ?(options = Async_engine.default_options)
-    ?(channel = Channel.default_config) ~cluster_config ~duration ~tcr ~seed data =
+    ?(channel = Channel.default_config) ?common ~cluster_config ~duration ~tcr ~seed data =
   let submissions = schedule data ~tcr ~duration ~seed in
-  let deadline = Sim_time.add duration (Sim_time.ms 500) in
   let report =
-    Async_engine.run ~options ~deadline ~cluster_config ~channel_config:channel
-      ~graph:data.Snb_gen.graph submissions
+    Async_engine.run ~options
+      ~common:(mixed_common common ~duration)
+      ~cluster_config ~channel_config:channel ~graph:data.Snb_gen.graph submissions
   in
   summarize_mixed ~tcr report
 
 (* Run the mixed workload on the BSP engine (TigerGraph role by default,
    as in Figure 7). *)
-let run_mixed_bsp ?(profile = Bsp_engine.Tigergraph_role) ~cluster_config ~duration ~tcr ~seed
-    data =
+let run_mixed_bsp ?(profile = Bsp_engine.Tigergraph_role) ?common ~cluster_config ~duration
+    ~tcr ~seed data =
   let submissions = schedule data ~tcr ~duration ~seed in
-  let deadline = Sim_time.add duration (Sim_time.ms 500) in
   let report =
-    Bsp_engine.run ~profile ~deadline ~cluster_config ~graph:data.Snb_gen.graph submissions
+    Bsp_engine.run ~profile
+      ~common:(mixed_common common ~duration)
+      ~cluster_config ~graph:data.Snb_gen.graph submissions
   in
   summarize_mixed ~tcr report
 

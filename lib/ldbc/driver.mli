@@ -27,10 +27,13 @@ type mixed_result = {
     deterministic in the seed). *)
 val schedule : Snb_gen.t -> tcr:float -> duration:Sim_time.t -> seed:int -> Engine.submission array
 
-(** Run the read mix on the asynchronous (GraphDance) engine. *)
+(** Run the read mix on the asynchronous (GraphDance) engine. [common]
+    carries obs/check/seed/faults; its deadline is overridden with the
+    run's own cutoff (duration + 500 ms). *)
 val run_mixed_async :
   ?options:Async_engine.options ->
   ?channel:Channel.config ->
+  ?common:Engine.Common.t ->
   cluster_config:Cluster.config ->
   duration:Sim_time.t ->
   tcr:float ->
@@ -38,9 +41,11 @@ val run_mixed_async :
   Snb_gen.t ->
   mixed_result
 
-(** Run the read mix on the BSP engine (TigerGraph role by default). *)
+(** Run the read mix on the BSP engine (TigerGraph role by default);
+    [common] as in {!run_mixed_async}. *)
 val run_mixed_bsp :
   ?profile:Bsp_engine.profile ->
+  ?common:Engine.Common.t ->
   cluster_config:Cluster.config ->
   duration:Sim_time.t ->
   tcr:float ->

@@ -23,6 +23,13 @@ let metrics_json (m : Metrics.t) =
       ("supersteps", Json.Int (Metrics.supersteps m));
       ("tracker_updates", Json.Int (Metrics.tracker_updates m));
       ("busy_ns", Json.Int (Metrics.busy_ns m));
+      ("fault_drops", Json.Int (Metrics.fault_drops m));
+      ("fault_dups", Json.Int (Metrics.fault_dups m));
+      ("fault_delays", Json.Int (Metrics.fault_delays m));
+      ("retransmits", Json.Int (Metrics.retransmits m));
+      ("dup_dropped", Json.Int (Metrics.dup_dropped m));
+      ("acks", Json.Int (Metrics.acks m));
+      ("abandoned", Json.Int (Metrics.abandoned m));
     ]
 
 let opt_float = function None -> Json.Null | Some x -> Json.Float x

@@ -33,6 +33,41 @@ type 'a message = {
   bytes : int;
 }
 
+(* --- Reliable delivery (active only under a fault plane) -------------
+
+   With faults attached to the cluster, packets can be lost, duplicated
+   or delayed, so tier-2 output switches to a per-link sequence-numbered
+   protocol: every data packet carries (link, seq); the receiver
+   delivers a seq exactly once (dedup window = a low watermark plus the
+   out-of-order set above it) and always acks; the sender retransmits on
+   ack timeout with exponential backoff and abandons after
+   [max_retries]. Weight conservation under retransmission is free:
+   the traverser/progress payloads travel with the packet, and the dedup
+   window guarantees the payloads run exactly once, so no weight is ever
+   double-counted. Without faults none of this state exists and the
+   send path is byte-identical to the unreliable build. *)
+
+type 'a packet = {
+  p_src : int;
+  p_dst : int;
+  p_seq : int;
+  p_messages : 'a message Vec.t;
+  p_bytes : int;
+}
+
+type 'a reliable = {
+  timeout : Sim_time.t; (* base ack timeout *)
+  max_retries : int;
+  next_seq : int array array; (* [src_node].(dst_node) *)
+  outstanding : (int, 'a packet) Hashtbl.t array array; (* [src].(dst): unacked seqs *)
+  recv_low : int array array; (* [dst].(src): all seqs below are delivered *)
+  recv_seen : (int, unit) Hashtbl.t array array; (* [dst].(src): delivered >= low *)
+}
+
+let seq_header_bytes = 8
+let ack_bytes = 16
+let max_backoff_doublings = 6
+
 type 'a t = {
   cluster : Cluster.t;
   config : config;
@@ -42,6 +77,7 @@ type 'a t = {
   pending : 'a message Vec.t array array; (* tier 2: [src_node].(dst_node) *)
   pending_bytes : int array array;
   window_open : bool array array;
+  reliable : 'a reliable option;
 }
 
 let create cluster config ~dummy ~deliver =
@@ -50,6 +86,22 @@ let create cluster config ~dummy ~deliver =
   let dummy_message = { dst_worker = -1; payload = dummy; bytes = 0 } in
   let buffer_matrix rows =
     Array.init rows (fun _ -> Array.init n_nodes (fun _ -> Vec.create ~dummy:dummy_message))
+  in
+  let reliable =
+    match Cluster.faults cluster with
+    | None -> None
+    | Some faults ->
+      let spec = Faults.spec faults in
+      let table () = Array.init n_nodes (fun _ -> Array.init n_nodes (fun _ -> Hashtbl.create 16)) in
+      Some
+        {
+          timeout = spec.Faults.retry_timeout;
+          max_retries = spec.Faults.max_retries;
+          next_seq = Array.make_matrix n_nodes n_nodes 0;
+          outstanding = table ();
+          recv_low = Array.make_matrix n_nodes n_nodes 0;
+          recv_seen = table ();
+        }
   in
   {
     cluster;
@@ -60,6 +112,7 @@ let create cluster config ~dummy ~deliver =
     pending = buffer_matrix n_nodes;
     pending_bytes = Array.make_matrix n_nodes n_nodes 0;
     window_open = Array.make_matrix n_nodes n_nodes false;
+    reliable;
   }
 
 let config t = t.config
@@ -71,9 +124,69 @@ let costs t = Cluster.costs t.cluster
    each at arrival order. *)
 let deliver_all t messages = Vec.iter (fun m -> t.deliver m.dst_worker m.payload) messages
 
+(* Exponential backoff, capped so a long outage retries every few ms
+   instead of going silent. *)
+let backoff r ~attempt = r.timeout * (1 lsl min attempt max_backoff_doublings)
+
+let rec transmit t r ~at ~attempt pkt =
+  let events = Cluster.events t.cluster in
+  let metrics = Cluster.metrics t.cluster in
+  let at = max at (Cluster.now t.cluster) in
+  Cluster.send_packet t.cluster ~at ~src_node:pkt.p_src ~dst_node:pkt.p_dst
+    ~bytes:(pkt.p_bytes + seq_header_bytes)
+    (fun () -> receive_data t r pkt);
+  (* Arm the ack timer: on expiry, retransmit iff still unacked. *)
+  Event_queue.schedule_at events
+    ~time:(Sim_time.add at (backoff r ~attempt))
+    (fun () ->
+      if Hashtbl.mem r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq then
+        if attempt >= r.max_retries then begin
+          (* Permanently lost: the sender stops; affected queries
+             degrade to TIMEOUT instead of wedging the simulation. *)
+          Metrics.count_abandoned metrics;
+          Hashtbl.remove r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq
+        end
+        else begin
+          Metrics.count_retransmit metrics;
+          transmit t r ~at:(Event_queue.now events) ~attempt:(attempt + 1) pkt
+        end)
+
+and receive_data t r pkt =
+  let metrics = Cluster.metrics t.cluster in
+  let seen = r.recv_seen.(pkt.p_dst).(pkt.p_src) in
+  let fresh = pkt.p_seq >= r.recv_low.(pkt.p_dst).(pkt.p_src) && not (Hashtbl.mem seen pkt.p_seq) in
+  if fresh then begin
+    Hashtbl.replace seen pkt.p_seq ();
+    (* Advance the low watermark over the contiguous prefix, shrinking
+       the dedup window. *)
+    let low = ref r.recv_low.(pkt.p_dst).(pkt.p_src) in
+    while Hashtbl.mem seen !low do
+      Hashtbl.remove seen !low;
+      incr low
+    done;
+    r.recv_low.(pkt.p_dst).(pkt.p_src) <- !low;
+    deliver_all t pkt.p_messages
+  end
+  else Metrics.count_dup_dropped metrics;
+  (* Always ack — including duplicates, so a lost ack cannot cause an
+     endless retransmit of an already-delivered packet. *)
+  Metrics.count_ack metrics;
+  Cluster.send_packet t.cluster
+    ~at:(Cluster.now t.cluster)
+    ~src_node:pkt.p_dst ~dst_node:pkt.p_src ~bytes:ack_bytes
+    (fun () -> Hashtbl.remove r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq)
+
 let emit_packet t ~at ~src_node ~dst_node messages bytes =
-  Cluster.send_packet t.cluster ~at ~src_node ~dst_node ~bytes (fun () ->
-      deliver_all t messages)
+  match t.reliable with
+  | None ->
+    Cluster.send_packet t.cluster ~at ~src_node ~dst_node ~bytes (fun () ->
+        deliver_all t messages)
+  | Some r ->
+    let seq = r.next_seq.(src_node).(dst_node) in
+    r.next_seq.(src_node).(dst_node) <- seq + 1;
+    let pkt = { p_src = src_node; p_dst = dst_node; p_seq = seq; p_messages = messages; p_bytes = bytes } in
+    Hashtbl.replace r.outstanding.(src_node).(dst_node) seq pkt;
+    transmit t r ~at ~attempt:0 pkt
 
 (* Tier-2 entry: either open/extend an NLC window or emit immediately. *)
 let to_combiner t ~at ~src_node ~dst_node messages bytes =

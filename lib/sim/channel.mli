@@ -5,7 +5,14 @@
     Tier 2: per-node combining of concurrent flushes to the same
     destination into one packet (node-level combining, NLC). Same-node
     messages bypass both tiers via shared memory. Each tier toggles
-    independently for the Figure 12 ablation. *)
+    independently for the Figure 12 ablation.
+
+    When the cluster carries a fault plane ({!Cluster.set_faults}),
+    tier-2 packets switch to sequence-numbered reliable delivery:
+    receivers dedup and ack every packet, senders retransmit on ack
+    timeout with capped exponential backoff and abandon after the
+    spec's [max_retries]. Without faults the state is never allocated
+    and the send path is unchanged. *)
 
 type config = {
   tlc : bool;

@@ -65,6 +65,9 @@ type t = {
   mutable on_packet : (packet_info -> unit) option;
       (* observability hook; the sim layer cannot depend on lib/obs, so
          tracing subscribes through this plain callback *)
+  mutable faults : Faults.t option;
+      (* fault-injection plane; [None] (the default) is the perfect
+         network and leaves every code path untouched *)
 }
 
 let create config =
@@ -76,9 +79,12 @@ let create config =
     metrics = Metrics.create ();
     nic_busy = Array.make config.n_nodes Sim_time.zero;
     on_packet = None;
+    faults = None;
   }
 
 let set_packet_hook t hook = t.on_packet <- hook
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
 
 let config t = t.config
 let events t = t.events
@@ -108,7 +114,33 @@ let send_packet t ~at ~src_node ~dst_node ~bytes arrive =
   (match t.on_packet with
   | None -> ()
   | Some hook -> hook { src_node; dst_node; bytes; nic_start = start; arrival });
-  Event_queue.schedule_at t.events ~time:arrival arrive
+  match t.faults with
+  | None -> Event_queue.schedule_at t.events ~time:arrival arrive
+  | Some f ->
+    (* The sender always pays NIC serialization (the loss is on the
+       wire); what varies is whether — and when — the receiver side runs.
+       A paused destination defers processing to its release time. *)
+    let verdict = Faults.packet_verdict f in
+    if verdict.Faults.dropped then Metrics.count_fault_drop t.metrics
+    else begin
+      let arrival =
+        if Sim_time.compare verdict.Faults.extra_delay Sim_time.zero > 0 then begin
+          Metrics.count_fault_delay t.metrics;
+          Sim_time.add arrival verdict.Faults.extra_delay
+        end
+        else arrival
+      in
+      let arrival = Faults.release f ~node:dst_node ~at:arrival in
+      Event_queue.schedule_at t.events ~time:arrival arrive;
+      if verdict.Faults.duplicated then begin
+        Metrics.count_fault_dup t.metrics;
+        (* The ghost copy trails by one wire latency; receivers dedup by
+           sequence number, so it only costs a discarded arrival. *)
+        Event_queue.schedule_at t.events
+          ~time:(Sim_time.add arrival t.config.net.Netmodel.wire_latency)
+          arrive
+      end
+    end
 
 (* Same-node shared-memory handoff (the §IV-B shortcut). *)
 let send_local t ~at arrive =

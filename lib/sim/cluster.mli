@@ -43,6 +43,15 @@ val create : config -> t
 (** Observability hook invoked for every cross-node packet as it is
     scheduled; [None] (the default) disables it. *)
 val set_packet_hook : t -> (packet_info -> unit) option -> unit
+
+(** Attach a fault-injection plane; [None] (the default) is the perfect
+    network and leaves every code path byte-identical to a fault-free
+    build. With a plane attached, {!send_packet} consults it for
+    drop/duplicate/delay verdicts and defers arrivals at paused nodes;
+    {!Channel} switches to sequence-numbered reliable delivery. *)
+val set_faults : t -> Faults.t option -> unit
+
+val faults : t -> Faults.t option
 val config : t -> config
 val events : t -> Event_queue.t
 val metrics : t -> Metrics.t

@@ -1,0 +1,129 @@
+(* Deterministic fault-injection plane.
+
+   The spec is pure data; the runtime holds one seeded PRNG that every
+   probabilistic decision draws from. Decisions are requested at
+   deterministic points (Cluster.send_packet, which runs in event-queue
+   order), so a (spec, workload) pair replays byte-identically — the
+   property the chaos suite asserts.
+
+   Slowdown and pauses are schedule-only (no randomness): a straggler
+   factor scales whatever CPU cost the engine charges on that node, and
+   a pause window defers both packet processing and worker quanta to the
+   window's end. *)
+
+type pause = {
+  pause_node : int;
+  pause_from : Sim_time.t;
+  pause_until : Sim_time.t;
+}
+
+type spec = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  delay_prob : float;
+  delay : Sim_time.t;
+  slow_nodes : (int * float) list;
+  pauses : pause list;
+  retry_timeout : Sim_time.t;
+  max_retries : int;
+}
+
+let none =
+  {
+    seed = 0xFA01;
+    drop = 0.0;
+    duplicate = 0.0;
+    delay_prob = 0.0;
+    delay = Sim_time.us 200;
+    slow_nodes = [];
+    pauses = [];
+    retry_timeout = Sim_time.us 50;
+    max_retries = 16;
+  }
+
+let pause ~node ~from_ ~until = { pause_node = node; pause_from = from_; pause_until = until }
+
+type t = {
+  spec : spec;
+  prng : Prng.t;
+}
+
+let check_probability name p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Fmt.str "Faults.create: %s probability %g outside [0, 1]" name p)
+
+let create spec =
+  check_probability "drop" spec.drop;
+  check_probability "duplicate" spec.duplicate;
+  check_probability "delay" spec.delay_prob;
+  List.iter
+    (fun (node, factor) ->
+      if factor < 1.0 then
+        invalid_arg (Fmt.str "Faults.create: node %d slowdown %g below 1.0" node factor))
+    spec.slow_nodes;
+  List.iter
+    (fun p ->
+      if Sim_time.compare p.pause_until p.pause_from < 0 then
+        invalid_arg
+          (Fmt.str "Faults.create: node %d pause window ends (%a) before it starts (%a)"
+             p.pause_node Sim_time.pp p.pause_until Sim_time.pp p.pause_from))
+    spec.pauses;
+  if spec.max_retries < 0 then invalid_arg "Faults.create: negative max_retries";
+  if Sim_time.compare spec.retry_timeout Sim_time.zero <= 0 then
+    invalid_arg "Faults.create: retry_timeout must be positive";
+  { spec; prng = Prng.create spec.seed }
+
+let spec t = t.spec
+
+type verdict = {
+  dropped : bool;
+  duplicated : bool;
+  extra_delay : Sim_time.t;
+}
+
+(* Each decision consumes exactly one draw so the stream stays aligned
+   whatever the probabilities are. *)
+let decide prng p = if p <= 0.0 then false else Prng.chance prng p
+
+let packet_verdict t =
+  let s = t.spec in
+  let dropped = decide t.prng s.drop in
+  if dropped then { dropped = true; duplicated = false; extra_delay = Sim_time.zero }
+  else
+    let duplicated = decide t.prng s.duplicate in
+    let spiked = decide t.prng s.delay_prob in
+    { dropped = false; duplicated; extra_delay = (if spiked then s.delay else Sim_time.zero) }
+
+let slowdown t ~node =
+  match List.assoc_opt node t.spec.slow_nodes with
+  | Some factor -> factor
+  | None -> 1.0
+
+let scale t ~node cost =
+  let factor = slowdown t ~node in
+  if factor = 1.0 then cost
+  else Sim_time.of_float_ns (float_of_int (Sim_time.to_ns cost) *. factor)
+
+(* Overlapping or back-to-back windows chain: moving to one window's end
+   may land inside another, so iterate to a fixpoint (the list is tiny
+   and windows are finite, so this terminates). *)
+let release t ~node ~at =
+  let step at =
+    List.fold_left
+      (fun acc p ->
+        if
+          p.pause_node = node
+          && Sim_time.compare p.pause_from acc <= 0
+          && Sim_time.compare acc p.pause_until < 0
+        then max acc p.pause_until
+        else acc)
+      at t.spec.pauses
+  in
+  let rec fix at =
+    let next = step at in
+    if Sim_time.compare next at = 0 then at else fix next
+  in
+  fix at
+
+let paused t ~node ~at = Sim_time.compare (release t ~node ~at) at > 0

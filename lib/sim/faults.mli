@@ -1,0 +1,71 @@
+(** Deterministic fault-injection plane for the simulated cluster.
+
+    A {!spec} declares the faults of a run: per-link packet drop /
+    duplication / delay-spike probabilities, per-node slowdown factors
+    (stragglers), and scheduled node pause windows. A runtime {!t} draws
+    every probabilistic decision from one seeded {!Prng}, and decisions
+    are requested in event-queue order, so equal seeds produce
+    byte-identical runs — chaos experiments replay exactly.
+
+    The plane only injects faults; surviving them (retry, dedup,
+    degradation) is the engines' business. When a cluster carries a
+    fault plane, the channel layer switches to sequence-numbered
+    delivery with ack/timeout/retransmit, whose protocol constants also
+    live in the spec. *)
+
+(** One scheduled pause: the node freezes (no quantum runs, no packet is
+    processed) for [\[from_ns, until_ns)] of simulated time. *)
+type pause = {
+  pause_node : int;
+  pause_from : Sim_time.t;
+  pause_until : Sim_time.t;
+}
+
+type spec = {
+  seed : int;  (** seeds the fault PRNG; same seed, same fault schedule *)
+  drop : float;  (** per-packet loss probability on every cross-node link *)
+  duplicate : float;  (** per-packet duplication probability *)
+  delay_prob : float;  (** per-packet probability of a delay spike *)
+  delay : Sim_time.t;  (** extra latency added by one delay spike *)
+  slow_nodes : (int * float) list;  (** straggler factors (>= 1.0) by node *)
+  pauses : pause list;
+  retry_timeout : Sim_time.t;  (** base ack timeout of the reliable channel *)
+  max_retries : int;  (** retransmissions before a packet is abandoned *)
+}
+
+(** All-quiet spec: no faults, default protocol constants. Build real
+    specs with [{ Faults.none with drop = 0.05; ... }]. *)
+val none : spec
+
+(** [pause ~node ~from_ ~until] — convenience constructor. *)
+val pause : node:int -> from_:Sim_time.t -> until:Sim_time.t -> pause
+
+type t
+
+(** Validates probabilities, factors and windows; raises
+    [Invalid_argument] on a malformed spec. *)
+val create : spec -> t
+
+val spec : t -> spec
+
+(** Per-packet decision; consumes the fault PRNG. [dropped] subsumes the
+    other fields (a dropped packet neither duplicates nor delays). *)
+type verdict = {
+  dropped : bool;
+  duplicated : bool;
+  extra_delay : Sim_time.t;  (** zero when no spike fired *)
+}
+
+val packet_verdict : t -> verdict
+
+(** Straggler factor of a node; 1.0 when the node is not slowed. *)
+val slowdown : t -> node:int -> float
+
+(** Scale a CPU cost by the node's straggler factor (identity at 1.0). *)
+val scale : t -> node:int -> Sim_time.t -> Sim_time.t
+
+(** Earliest time at or after [at] when the node is not paused; [at]
+    itself when no pause window covers it. *)
+val release : t -> node:int -> at:Sim_time.t -> Sim_time.t
+
+val paused : t -> node:int -> at:Sim_time.t -> bool

@@ -40,6 +40,14 @@ type t = {
   mutable supersteps : int; (* BSP only *)
   mutable tracker_updates : int; (* weight receipts at the progress tracker *)
   mutable busy_ns : int; (* total worker CPU time consumed *)
+  (* Fault plane (all zero when no faults are injected): *)
+  mutable fault_drops : int; (* packets lost to injected link faults *)
+  mutable fault_dups : int; (* packets duplicated by injected link faults *)
+  mutable fault_delays : int; (* delay spikes applied to packets *)
+  mutable retransmits : int; (* ack timeouts that fired and resent a packet *)
+  mutable dup_dropped : int; (* received packets discarded by the dedup window *)
+  mutable acks : int; (* acknowledgement packets sent *)
+  mutable abandoned : int; (* packets given up after max_retries *)
 }
 
 let create () =
@@ -57,6 +65,13 @@ let create () =
     supersteps = 0;
     tracker_updates = 0;
     busy_ns = 0;
+    fault_drops = 0;
+    fault_dups = 0;
+    fault_delays = 0;
+    retransmits = 0;
+    dup_dropped = 0;
+    acks = 0;
+    abandoned = 0;
   }
 
 let reset t =
@@ -72,7 +87,14 @@ let reset t =
   t.memo_ops <- 0;
   t.supersteps <- 0;
   t.tracker_updates <- 0;
-  t.busy_ns <- 0
+  t.busy_ns <- 0;
+  t.fault_drops <- 0;
+  t.fault_dups <- 0;
+  t.fault_delays <- 0;
+  t.retransmits <- 0;
+  t.dup_dropped <- 0;
+  t.acks <- 0;
+  t.abandoned <- 0
 
 let count_message t kind bytes =
   let i = kind_index kind in
@@ -93,6 +115,13 @@ let count_memo_op t = t.memo_ops <- t.memo_ops + 1
 let count_superstep t = t.supersteps <- t.supersteps + 1
 let count_tracker_update t = t.tracker_updates <- t.tracker_updates + 1
 let count_busy t ns = t.busy_ns <- t.busy_ns + ns
+let count_fault_drop t = t.fault_drops <- t.fault_drops + 1
+let count_fault_dup t = t.fault_dups <- t.fault_dups + 1
+let count_fault_delay t = t.fault_delays <- t.fault_delays + 1
+let count_retransmit t = t.retransmits <- t.retransmits + 1
+let count_dup_dropped t = t.dup_dropped <- t.dup_dropped + 1
+let count_ack t = t.acks <- t.acks + 1
+let count_abandoned t = t.abandoned <- t.abandoned + 1
 
 let messages t kind = t.messages.(kind_index kind)
 let message_bytes t kind = t.bytes.(kind_index kind)
@@ -108,6 +137,18 @@ let memo_ops t = t.memo_ops
 let supersteps t = t.supersteps
 let tracker_updates t = t.tracker_updates
 let busy_ns t = t.busy_ns
+let fault_drops t = t.fault_drops
+let fault_dups t = t.fault_dups
+let fault_delays t = t.fault_delays
+let retransmits t = t.retransmits
+let dup_dropped t = t.dup_dropped
+let acks t = t.acks
+let abandoned t = t.abandoned
+
+let faults_seen t =
+  t.fault_drops + t.fault_dups + t.fault_delays + t.retransmits + t.dup_dropped + t.acks
+  + t.abandoned
+  > 0
 
 let pp ppf t =
   Fmt.pf ppf "steps=%d spawned=%d packets=%d local=%d" t.steps t.spawned t.packets
@@ -115,4 +156,9 @@ let pp ppf t =
   List.iter
     (fun kind ->
       Fmt.pf ppf " %s=%d/%dB" (kind_name kind) (messages t kind) (message_bytes t kind))
-    all_kinds
+    all_kinds;
+  (* Fault counters only appear when the fault plane was active, so
+     fault-free output is unchanged. *)
+  if faults_seen t then
+    Fmt.pf ppf " drops=%d dups=%d delays=%d retx=%d dedup=%d acks=%d abandoned=%d" t.fault_drops
+      t.fault_dups t.fault_delays t.retransmits t.dup_dropped t.acks t.abandoned

@@ -25,6 +25,13 @@ val count_memo_op : t -> unit
 val count_superstep : t -> unit
 val count_tracker_update : t -> unit
 val count_busy : t -> int -> unit
+val count_fault_drop : t -> unit
+val count_fault_dup : t -> unit
+val count_fault_delay : t -> unit
+val count_retransmit : t -> unit
+val count_dup_dropped : t -> unit
+val count_ack : t -> unit
+val count_abandoned : t -> unit
 val messages : t -> msg_kind -> int
 val message_bytes : t -> msg_kind -> int
 val total_messages : t -> int
@@ -39,4 +46,18 @@ val memo_ops : t -> int
 val supersteps : t -> int
 val tracker_updates : t -> int
 val busy_ns : t -> int
+
+(** Fault-plane counters; all zero on fault-free runs. *)
+val fault_drops : t -> int
+
+val fault_dups : t -> int
+val fault_delays : t -> int
+val retransmits : t -> int
+val dup_dropped : t -> int
+val acks : t -> int
+val abandoned : t -> int
+
+(** Whether any fault-plane counter is non-zero. *)
+val faults_seen : t -> bool
+
 val pp : Format.formatter -> t -> unit

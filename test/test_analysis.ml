@@ -184,14 +184,17 @@ let test_local_check () =
   let graph = fixture_graph () in
   let program = fixture_program graph in
   let plain = Local_engine.run graph program in
-  let checked = Local_engine.run ~check:true graph program in
+  let checked =
+    Local_engine.run ~common:(Engine.Common.with_check true Engine.Common.default) graph program
+  in
   Alcotest.(check int) "same rows" (List.length plain) (List.length checked)
 
 let test_async_check () =
   let graph = fixture_graph () in
   let program = fixture_program graph in
   let report =
-    Async_engine.run ~check:true
+    Async_engine.run
+      ~common:(Engine.Common.with_check true Engine.Common.default)
       ~cluster_config:{ Cluster.default_config with n_nodes = 4; workers_per_node = 4 }
       ~channel_config:Channel.default_config ~graph
       [| Engine.submit program |]
@@ -206,7 +209,8 @@ let test_bsp_check () =
   let graph = fixture_graph () in
   let program = fixture_program graph in
   let report =
-    Bsp_engine.run ~check:true
+    Bsp_engine.run
+      ~common:(Engine.Common.with_check true Engine.Common.default)
       ~cluster_config:{ Cluster.default_config with n_nodes = 4; workers_per_node = 4 }
       ~graph
       [| Engine.submit program |]

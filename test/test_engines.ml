@@ -249,7 +249,9 @@ let test_deadline_times_out () =
       Dsl.(v_lookup ~key:"id" (int 1) |> repeat_out "link" ~times:4 |> count |> build)
   in
   let report =
-    Async_engine.run ~deadline:(Sim_time.us 10) ~cluster_config:small_cluster
+    Async_engine.run
+      ~common:(Engine.Common.with_deadline (Some (Sim_time.us 10)) Engine.Common.default)
+      ~cluster_config:small_cluster
       ~channel_config:Channel.default_config ~graph
       [| Engine.submit program |]
   in

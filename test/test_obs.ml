@@ -75,7 +75,9 @@ let traced_run () =
   let program = khop_program graph 2 in
   let obs = Recorder.create () in
   let report =
-    Async_engine.run ~obs ~cluster_config:small_cluster
+    Async_engine.run
+      ~common:(Engine.Common.with_obs obs Engine.Common.default)
+      ~cluster_config:small_cluster
       ~channel_config:Channel.default_config ~graph
       [| Engine.submit program |]
   in
