@@ -4,7 +4,8 @@
    on the simulated cluster. With no argument, runs everything in paper
    order; with an argument, runs one experiment:
 
-     table1 table2 fig7 fig8 fig8l fig8sn fig9 fig10 fig11 fig12 fig13 plan micro
+     table1 table2 fig7 fig8 fig8l fig8sn fig9 fig10 fig11 fig12 fig13
+     plan partition repartition micro
 
    All latencies are simulated milliseconds on the 8-node cluster model;
    see DESIGN.md for the hardware substitution rationale and
@@ -28,6 +29,10 @@ let experiments =
     ("fig13", "Figure 13: hardware impact", Bench_fig13.run);
     ("plan", "Figure 3 ablation: join plans", Bench_plan.run);
     ("partition", "Ablation: partition strategies", Bench_partition.run);
+    ("repartition", "Ablation: adaptive repartitioning", Bench_repartition.run);
+    ( "repartition-smoke",
+      "Smoke: cold adaptive repartitioning with the sanitizer on",
+      Bench_repartition.smoke );
     ("micro", "Microbenchmarks", Bench_micro.run);
     ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
     ("faults", "Fault sweep: GraphDance under an unreliable network", Bench_faults.run);
@@ -70,9 +75,12 @@ let () =
   Harness.json_enabled := json_path <> None;
   (match names with
   | [] ->
-    (* Everything in paper order; smoke and faults are CI fixtures, not
-       figures. *)
-    List.iter (fun (n, _, _) -> if n <> "smoke" && n <> "faults" then run_one n) experiments
+    (* Everything in paper order; the smoke entries and faults are CI
+       fixtures, not figures. *)
+    List.iter
+      (fun (n, _, _) ->
+        if n <> "smoke" && n <> "faults" && n <> "repartition-smoke" then run_one n)
+      experiments
   | names -> List.iter run_one names);
   match json_path with
   | None -> ()

@@ -75,6 +75,8 @@ let merge ~into t =
     a.items <- List.rev_append taken a.items;
     a.n <- a.n + List.length taken
   | Group_st a, Group_st b ->
+    (* [finalize] sorts the groups with Value.compare before emitting, so
+       iteration order here is unobservable. *)
     (* det-ok: per-key counter addition is commutative across merge order *)
     Hashtbl.iter
       (fun key n ->

@@ -42,5 +42,14 @@ val rows_add : t -> qid:int -> label:int -> Value.t -> Value.t array -> unit
 
 val rows_get : t -> qid:int -> label:int -> Value.t -> Value.t array list
 
+(** Wire size of an entry, for costing migration messages. *)
+val entry_bytes : entry -> int
+
+(** Remove and return every record keyed by [key] (any label, any query),
+    as [(qid, label, entry)] sorted by (qid, label) — the re-homing side
+    of vertex migration. Aggregate partials (keyed by [Value.Null]) never
+    match a vertex key and stay put. *)
+val extract_for_key : t -> Value.t -> (int * int * entry) list
+
 (** Drop every record of a terminated query. *)
 val clear_query : t -> int -> unit

@@ -69,7 +69,13 @@ let drain c =
   let out = Hashtbl.fold (fun (qid, phase) w acc -> (qid, phase, w) :: acc) c.pending [] in
   Hashtbl.reset c.pending;
   c.pending_adds <- 0;
-  (* Deterministic shipping order. det-ok: (int, int, weight-as-int) triples *)
-  List.sort compare out
+  (* Deterministic shipping order: (qid, phase) is a unique key, so the
+     weight never participates in the comparison. *)
+  List.sort
+    (fun (q1, p1, _) (q2, p2, _) ->
+      match Int.compare q1 q2 with
+      | 0 -> Int.compare p1 p2
+      | c -> c)
+    out
 
 let additions c = c.additions

@@ -34,6 +34,33 @@ let flavor_name = function
   | Banyan_like -> "banyan-like"
   | Gaia_like -> "gaia-like"
 
+(* Online repartitioning knobs, consulted when [partition = Adaptive].
+   Rounds trigger lazily off the remote-dispatch path: once at least
+   [min_traffic] remote hops have been profiled since the last round and
+   [refine_interval] has elapsed, the directory refines the owner table
+   and the moved vertices migrate (memo entries ride the channel as
+   costed messages; see the migration payloads below). *)
+type adaptive_options = {
+  refine_interval : Sim_time.t; (* min sim-time between refinement rounds *)
+  min_traffic : int; (* profiled remote hops before a round may trigger *)
+  max_imbalance : float; (* per-partition size cap, max over mean *)
+  max_heat_imbalance : float; (* per-partition profiled-traffic cap *)
+  max_moves : int; (* vertex moves per refinement round *)
+}
+
+(* A round needs a substantial fresh profile before it may fire:
+   refining on a few hundred early observations chases noise — thousands
+   of vertices migrate toward a local optimum of a sample that does not
+   resemble the workload, and the next round drags them back. *)
+let default_adaptive =
+  {
+    refine_interval = Sim_time.us 50;
+    min_traffic = 4096;
+    max_imbalance = 1.1;
+    max_heat_imbalance = 1.5;
+    max_moves = 1024;
+  }
+
 type options = {
   flavor : flavor;
   weight_coalescing : bool;
@@ -42,6 +69,8 @@ type options = {
   memory_capacity : int option; (* per-node memory, for the single-node study *)
   swap_penalty : int; (* data-access multiplier when the graph exceeds memory *)
   partition : Partition.strategy; (* the H of the partitioned graph model *)
+  adaptive : adaptive_options; (* online repartitioning (Adaptive only) *)
+  initial_assignment : int array option; (* warm-start owner table (Adaptive only) *)
 }
 
 let default_options =
@@ -53,6 +82,8 @@ let default_options =
     memory_capacity = None;
     swap_penalty = 40;
     partition = Partition.Hash;
+    adaptive = default_adaptive;
+    initial_assignment = None;
   }
 
 type payload =
@@ -63,6 +94,11 @@ type payload =
   | P_cleanup of { qid : int }
   | P_setup of { qid : int } (* dataflow flavors: instantiate operators *)
   | P_setup_ack of { qid : int }
+  (* Vertex migration (adaptive repartitioning). The order goes to the
+     old owner, which extracts the vertex's memo entries and ships them
+     to the new owner as one costed data message. *)
+  | P_migrate of { vertex : int; dst : int }
+  | P_migrate_data of { vertex : int; entries : (int * int * Memo.entry) list }
 
 let payload_bytes = function
   | P_trav { trav; _ } -> 8 + Traverser.bytes trav
@@ -72,6 +108,9 @@ let payload_bytes = function
     16 + (match partial with None -> 0 | Some p -> Aggregate.bytes p)
   | P_cleanup _ -> 8
   | P_setup _ | P_setup_ack _ -> 16
+  | P_migrate _ -> 16
+  | P_migrate_data { entries; _ } ->
+    List.fold_left (fun acc (_, _, e) -> acc + 16 + Memo.entry_bytes e) 16 entries
 
 type query_state = {
   qid : int;
@@ -159,9 +198,10 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                ]
              ()));
   let workers_per_node = cluster_config.Cluster.workers_per_node in
+  let adaptive_on = options.partition = Partition.Adaptive in
   let partition =
-    Partition.create ~strategy:options.partition ~n_parts:n_workers
-      ~n_vertices:(Graph.n_vertices graph) ()
+    Partition.create ~strategy:options.partition ?assignment:options.initial_assignment
+      ~n_parts:n_workers ~n_vertices:(Graph.n_vertices graph) ()
   in
   let seed_prng = Prng.create common.Engine.Common.seed in
   (* Node-shared memos for the non-partitioned ablation. *)
@@ -179,7 +219,13 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           busy_until = Sim_time.zero;
           busy_total = Sim_time.zero;
           awake = false;
-          members = lazy (Partition.members partition id);
+          members =
+            (* Under adaptive repartitioning the owner table mutates at
+               runtime; Scan sources partition the vertex set by the
+               launch-time assignment, so membership is frozen eagerly
+               (each vertex scanned exactly once no matter what moves). *)
+            (if adaptive_on then Lazy.from_val (Partition.members partition id)
+             else lazy (Partition.members partition id));
         })
   in
   (* Flight-recorder series handles, resolved once (lookup is linear). *)
@@ -199,6 +245,76 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   (* Total live operator instances; the dataflow flavors pay a scheduling
      tax proportional to this every quantum. *)
   let active_op_count = ref 0 in
+  (* Queries concurrently resident (launched, not yet completed): the
+     contention axis of the non-partitioned ablation's latch model. *)
+  let n_active = ref 0 in
+  (* --- Adaptive repartitioning state ----------------------------------- *)
+  (* Two traffic sinks: the observability recorder's (export only, on
+     whenever tracing is) and the engine's own profile feeding online
+     refinement (on only under Adaptive). Both count remote dispatches
+     keyed by the (parent vertex, routing vertex) pair. *)
+  let obs_traffic = Pstm_obs.Recorder.traffic obs in
+  let traffic_on = Pstm_obs.Traffic.enabled obs_traffic in
+  let profile =
+    if adaptive_on then Pstm_obs.Traffic.create () else Pstm_obs.Traffic.disabled
+  in
+  (* Vertices whose memo entries are in flight to their new owner; the
+     stash parks traversers that arrive at the new owner early. *)
+  let migrating : (int, payload list ref) Hashtbl.t = Hashtbl.create 64 in
+  (* Each vertex migrates at most once per run: successive rounds refine
+     against an evolving profile, and letting them re-home the same
+     vertices chases every intermediate local optimum — the migration
+     and forwarding churn costs more than the cut it recovers. *)
+  let migrated_ever : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let next_round = ref Sim_time.zero in
+  let profiled_at_round = ref 0 in
+  (* The vertex whose owner the dispatch target is, if any: By_vertex
+     routes by the traverser's vertex, By_key by the key's vertex when
+     the key is one. Coordinator-routed and hash-routed steps (and
+     Gaia's centralized stateful ops) have none. *)
+  let routed_vertex q (trav : Traverser.t) =
+    let step = Program.step q.program trav.step in
+    let centralized =
+      match (options.flavor, step.Step.op) with
+      | Gaia_like, (Step.Dedup _ | Step.Visit _ | Step.Join _ | Step.Aggregate _) -> true
+      | _ -> false
+    in
+    if centralized then None
+    else begin
+      match Step.routing step.Step.op with
+      | Step.By_coordinator -> None
+      | Step.By_vertex -> Some trav.Traverser.vertex
+      | Step.By_key e -> begin
+        match
+          Step.eval_expr graph ~vertex:trav.Traverser.vertex ~regs:trav.Traverser.regs e
+        with
+        | Value.Vertex v -> Some v
+        | _ -> None
+      end
+    end
+  in
+  (* The vertex whose memo entries this traverser's step reads or
+     writes, if any. Only Dedup / Visit / Join key memo records by a
+     value — when that value is a vertex, migration re-homes the
+     records, so stale arrivals must chase the new owner and early
+     arrivals must wait for the entries. Stateless steps (Expand,
+     Filter, ...) execute wherever they land; a stale arrival there is
+     only a locality miss, never a correctness hazard. *)
+  let stateful_key_vertex q (trav : Traverser.t) =
+    if options.flavor = Gaia_like then None
+    else begin
+      match (Program.step q.program trav.Traverser.step).Step.op with
+      | Step.Visit _ -> Some trav.Traverser.vertex
+      | Step.Dedup { by } | Step.Join { key = by; _ } -> begin
+        match
+          Step.eval_expr graph ~vertex:trav.Traverser.vertex ~regs:trav.Traverser.regs by
+        with
+        | Value.Vertex v -> Some v
+        | _ -> None
+      end
+      | _ -> None
+    end
+  in
   (* --- Cost model ----------------------------------------------------- *)
   let swapping =
     match options.memory_capacity with
@@ -206,16 +322,28 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     | None -> false
   in
   (* Under the non-partitioned model every step touches node-shared
-     state: the graph storage latch plus query-state synchronization, with
-     contention growing in the number of workers per node (§V-A2). The
-     partitioned model pays none of this — each worker owns its data. *)
-  let shared_step_penalty =
+     state: the graph storage latch plus query-state synchronization.
+     Contention has two axes — the worker fan-in per node (static,
+     §V-A2) and the number of queries concurrently resident in the
+     shared structures: a latch queue grows with every query whose
+     state hangs off it, so the per-acquisition cost scales with live
+     concurrency. With one resident query the factor is 1 and the model
+     reduces to the uncontended latch. The partitioned model pays none
+     of this — each worker owns its data. *)
+  (* Latch contention grows with the number of concurrently resident
+     queries, but sublinearly: colliding critical sections are short, so
+     only a fraction of the other residents is ever queued on the same
+     latch. A lone query pays exactly the uncontended cost, keeping
+     single-query runs byte-identical to the static model. *)
+  let contention () = 1 + (2 * (max 1 !n_active - 1) / 5) in
+  let shared_step_penalty () =
     if options.shared_state then
-      costs.Cluster.latch * (1 + ((workers_per_node - 1) / 5))
+      costs.Cluster.latch * (1 + ((workers_per_node - 1) / 5)) * contention ()
     else Sim_time.zero
   in
-  let memo_op_cost =
-    if options.shared_state then Sim_time.add costs.Cluster.memo_op costs.Cluster.latch
+  let memo_op_cost () =
+    if options.shared_state then
+      Sim_time.add costs.Cluster.memo_op (costs.Cluster.latch * contention ())
     else costs.Cluster.memo_op
   in
   let exec_cost (o : Exec.outcome) =
@@ -225,7 +353,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     in
     let data = if options.shared_state then data + (data / 2) else data in
     let base =
-      costs.Cluster.step_dispatch + shared_step_penalty + data + (o.Exec.memo_ops * memo_op_cost)
+      costs.Cluster.step_dispatch + shared_step_penalty () + data
+      + (o.Exec.memo_ops * memo_op_cost ())
     in
     (* Memory thrashing faults the whole access path, not just the data
        columns (§V-A3: GraphScope on SF1000). *)
@@ -278,7 +407,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         | v -> Value.hash v mod n_workers
       end
     end
-  and dispatch_trav ~at ~src q trav =
+  and dispatch_trav ~at ~src ?src_vertex q trav =
     if obs_on then incr inflight;
     let dst = route q trav in
     let step = Program.step q.program trav.step in
@@ -287,7 +416,71 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       | Step.Emit _ -> Metrics.Result_msg
       | _ -> Metrics.Traverser_msg
     in
-    send ~at ~src ~dst ~kind (P_trav { qid = q.qid; trav })
+    let cost = send ~at ~src ~dst ~kind (P_trav { qid = q.qid; trav }) in
+    (* Traffic profiling: every remote dispatch whose target is decided
+       by a vertex's owner is an edge of the workload's communication
+       graph — the signal the adaptive repartitioner minimizes. *)
+    if (traffic_on || adaptive_on) && dst <> src then begin
+      match src_vertex with
+      | None -> cost
+      | Some u -> begin
+        match routed_vertex q trav with
+        | None -> cost
+        | Some v ->
+          let bytes = 8 + Traverser.bytes trav in
+          Pstm_obs.Traffic.record obs_traffic ~src:u ~dst:v ~bytes;
+          Pstm_obs.Traffic.record profile ~src:u ~dst:v ~bytes;
+          if adaptive_on then Sim_time.add cost (maybe_adapt ~at ~src) else cost
+      end
+    end
+    else cost
+  (* Refinement round, triggered lazily off the remote-dispatch path once
+     enough fresh traffic has been profiled and the interval elapsed.
+     Refinement itself runs on the partition directory off the critical
+     path (uncosted); what is costed is the migration itself — the order
+     to each old owner and the memo-entry data message it sends on. The
+     owner table flips immediately: traversers already in flight toward
+     the old owner get forwarded on arrival, and arrivals at the new
+     owner park until the entries land, so no memo state is ever read
+     half-moved and Theorem 1's weight conservation is untouched. *)
+  and maybe_adapt ~at ~src =
+    let ao = options.adaptive in
+    if
+      Pstm_obs.Traffic.total_count profile - !profiled_at_round >= ao.min_traffic
+      && Sim_time.compare at !next_round >= 0
+    then begin
+      next_round := Sim_time.add at ao.refine_interval;
+      profiled_at_round := Pstm_obs.Traffic.total_count profile;
+      let edges =
+        Array.map (fun (u, v, _count, bytes) -> (u, v, bytes)) (Pstm_obs.Traffic.edges profile)
+      in
+      let assignment = Partition.to_assignment partition in
+      let moves, _stats =
+        Repartition.refine ~max_imbalance:ao.max_imbalance
+          ~max_heat_imbalance:ao.max_heat_imbalance ~max_moves:ao.max_moves
+          ~n_parts:n_workers ~assignment edges
+      in
+      let cost = ref Sim_time.zero in
+      List.iter
+        (fun { Repartition.vertex; src = old_owner; dst = new_owner } ->
+          (* A vertex whose previous migration is still in flight stays
+             put this round: its entries are not at the "old owner" the
+             refiner sees, so a second hop now would lose them. *)
+          if not (Hashtbl.mem migrating vertex) && not (Hashtbl.mem migrated_ever vertex)
+          then begin
+            Hashtbl.add migrated_ever vertex ();
+            Partition.set_owner partition vertex new_owner;
+            Hashtbl.add migrating vertex (ref []);
+            Metrics.count_migration metrics;
+            cost :=
+              Sim_time.add !cost
+                (send ~at ~src ~dst:old_owner ~kind:Metrics.Control_msg
+                   (P_migrate { vertex; dst = new_owner }))
+          end)
+        moves;
+      !cost
+    end
+    else Sim_time.zero
   (* ---- Progress tracking ---------------------------------------------- *)
   and tracker_receive ~at w q phase weight =
     Metrics.count_tracker_update metrics;
@@ -392,6 +585,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           ]
         ();
     active_op_count := !active_op_count - Program.n_steps q.program;
+    n_active := !n_active - 1;
     (* Memos are query-scoped: broadcast the automatic clear of §III-B. *)
     let cost = ref Sim_time.zero in
     for dst = 0 to n_workers - 1 do
@@ -408,7 +602,25 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q when not q.active -> Sim_time.zero
-      | Some q ->
+      | Some q -> begin
+        match (if adaptive_on then stateful_key_vertex q trav else None) with
+        | Some v when Partition.owner partition v <> w.id ->
+          (* The vertex migrated while this traverser was in flight:
+             chase the new owner. The traverser is forwarded wholesale,
+             so its progression weight is conserved bit for bit. *)
+          Metrics.count_forwarded metrics;
+          if obs_on then incr inflight;
+          send ~at ~src:w.id ~dst:(Partition.owner partition v) ~kind:Metrics.Traverser_msg
+            (P_trav { qid; trav })
+        | Some v when Hashtbl.mem migrating v ->
+          (* We are the new owner but the memo entries are still in
+             flight: park the traverser until P_migrate_data lands, so
+             dedup / visit / join state is never consulted half-moved. *)
+          Metrics.count_stashed metrics;
+          let stash = Hashtbl.find migrating v in
+          stash := P_trav { qid; trav } :: !stash;
+          Sim_time.zero
+        | _ ->
         if obs_on && Bitset.add_if_absent q.touched w.id then
           Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid) ~name:"first_touch" ~ts:at
             ~args:[ ("worker", Pstm_obs.Trace.I w.id) ]
@@ -440,7 +652,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         List.iter
           (fun child ->
             Metrics.count_spawn metrics;
-            cost := Sim_time.add !cost (dispatch_trav ~at ~src:w.id q child))
+            cost :=
+              Sim_time.add !cost
+                (dispatch_trav ~at ~src:w.id ~src_vertex:trav.Traverser.vertex q child))
           outcome.Exec.spawns;
         (* Rows are only produced by Emit, which routes to the coordinator
            first — so they land here, at the coordinator itself. *)
@@ -464,6 +678,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             ~args:[ ("qid", Pstm_obs.Trace.I qid); ("step", Pstm_obs.Trace.I trav.Traverser.step) ]
             ();
         !cost
+      end
     end
     | P_progress { qid; phase; weight } -> begin
       match Hashtbl.find_opt queries qid with
@@ -475,7 +690,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       | None -> Sim_time.zero
       | Some q ->
         let partial = Memo.partial_opt w.memo ~qid ~label:agg_step in
-        Sim_time.add memo_op_cost
+        Sim_time.add (memo_op_cost ())
           (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg
              (P_agg_partial { qid; agg_step; partial }))
     end
@@ -489,7 +704,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         | Some p, None -> q.combine_acc <- Some p
         | Some p, Some acc -> Aggregate.merge ~into:acc p);
         q.combine_received <- q.combine_received + 1;
-        if q.combine_received < q.combine_expected then memo_op_cost
+        if q.combine_received < q.combine_expected then memo_op_cost ()
         else begin
           (* All partials in: finalize and start the next phase. *)
           let step = Program.step q.program agg_step in
@@ -512,12 +727,12 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           Metrics.count_spawn metrics;
           (* The continuation enters the next phase from outside any step. *)
           Pstm_obs.Opstats.seed opstats 1;
-          Sim_time.add memo_op_cost (dispatch_trav ~at ~src:w.id q cont)
+          Sim_time.add (memo_op_cost ()) (dispatch_trav ~at ~src:w.id q cont)
         end
     end
     | P_cleanup { qid } ->
       Memo.clear_query w.memo qid;
-      memo_op_cost
+      memo_op_cost ()
     | P_setup { qid } -> begin
       (* Dataflow flavors instantiate every operator of the query's plan
          (plus its channels) in this worker before execution can start. *)
@@ -539,6 +754,37 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         end
         else costs.Cluster.operator_sched
     end
+    | P_migrate { vertex; dst } ->
+      (* Old owner: pull the vertex's records out of the local memo (all
+         queries, deterministic order) and ship them as one costed data
+         message. Any traverser for the vertex still queued behind this
+         order re-routes on arrival via the forwarding path above. *)
+      let entries = Memo.extract_for_key w.memo (Value.Vertex vertex) in
+      Metrics.count_migrated_entries metrics (List.length entries);
+      Sim_time.add
+        (memo_op_cost () * (1 + List.length entries))
+        (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg (P_migrate_data { vertex; entries }))
+    | P_migrate_data { vertex; entries } ->
+      (* New owner: install the records — entries of queries that
+         completed while the message was in flight are dropped (their
+         cleanup broadcast already passed) — then release any parked
+         traversers in arrival order. *)
+      List.iter
+        (fun (qid, label, entry) ->
+          match Hashtbl.find_opt queries qid with
+          | Some q when q.active -> Memo.set w.memo ~qid ~label (Value.Vertex vertex) entry
+          | Some _ | None -> ())
+        entries;
+      (match Hashtbl.find_opt migrating vertex with
+      | Some stash ->
+        Hashtbl.remove migrating vertex;
+        List.iter
+          (fun p ->
+            if obs_on then incr inflight;
+            Queue.add p w.tasks)
+          (List.rev !stash)
+      | None -> ());
+      memo_op_cost () * (1 + List.length entries)
   (* ---- Worker scheduling loop ------------------------------------------- *)
   and launch_entries ~at q =
     let entries = Program.entries q.program in
@@ -670,6 +916,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                 ]
               ();
           active_op_count := !active_op_count + Program.n_steps program;
+          n_active := !n_active + 1;
           match options.flavor with
           | Graphdance ->
             (* PSTM programs need no deployment: traversers carry their

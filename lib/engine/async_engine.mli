@@ -14,6 +14,23 @@ type flavor =
 
 val flavor_name : flavor -> string
 
+(** Knobs of the online repartitioner (only read when
+    [partition = Partition.Adaptive]). Refinement rounds are triggered
+    lazily from the remote-dispatch path: a round fires when at least
+    [min_traffic] cross-partition traversals have been profiled since the
+    last round and [refine_interval] simulated time has elapsed. *)
+type adaptive_options = {
+  refine_interval : Sim_time.t;  (** minimum spacing between refinement rounds *)
+  min_traffic : int;  (** fresh profiled traversals needed to consider a round *)
+  max_imbalance : float;  (** per-partition size cap, as a factor of the mean *)
+  max_heat_imbalance : float;
+      (** per-partition profiled-traffic cap, as a factor of the mean —
+          bounds how much hot work co-location may concentrate *)
+  max_moves : int;  (** migration budget per refinement round *)
+}
+
+val default_adaptive : adaptive_options
+
 type options = {
   flavor : flavor;
   weight_coalescing : bool;
@@ -24,6 +41,11 @@ type options = {
           makes data access pay [swap_penalty] (the single-node study) *)
   swap_penalty : int;
   partition : Partition.strategy; (** the H of the partitioned graph model *)
+  adaptive : adaptive_options;
+      (** online-repartitioning knobs, read only under [Partition.Adaptive] *)
+  initial_assignment : int array option;
+      (** warm-start vertex→partition map for [Partition.Adaptive] (e.g. a
+          refinement computed offline from a profiled run) *)
 }
 
 val default_options : options

@@ -87,7 +87,9 @@ let set_column t ~key column = Hashtbl.replace t.columns key column
 
 let of_sparse ~size sparse =
   let t = create ~size in
-  (* det-ok: each key's column is built independently; order cannot matter *)
+  (* Keys are distinct and each key's column is built independently into
+     its own slot, so no output depends on visit order. *)
+  (* det-ok: independent per-key column builds; order cannot matter *)
   Hashtbl.iter (fun key pairs -> set_column t ~key (column_of_pairs ~size pairs)) sparse;
   t
 

@@ -8,17 +8,25 @@ type t = {
   trace : Trace.t;
   flight : Flight.t;
   opstats : Opstats.t;
+  traffic : Traffic.t;
   enabled : bool;
 }
 
 let disabled =
-  { trace = Trace.disabled; flight = Flight.disabled; opstats = Opstats.disabled; enabled = false }
+  {
+    trace = Trace.disabled;
+    flight = Flight.disabled;
+    opstats = Opstats.disabled;
+    traffic = Traffic.disabled;
+    enabled = false;
+  }
 
 let create ?trace_capacity ?flight_capacity () =
   {
     trace = Trace.create ?capacity:trace_capacity ();
     flight = Flight.create ?capacity:flight_capacity ();
     opstats = Opstats.create ();
+    traffic = Traffic.create ();
     enabled = true;
   }
 
@@ -26,3 +34,4 @@ let enabled t = t.enabled
 let trace t = t.trace
 let flight t = t.flight
 let opstats t = t.opstats
+let traffic t = t.traffic

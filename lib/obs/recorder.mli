@@ -11,3 +11,4 @@ val enabled : t -> bool
 val trace : t -> Trace.t
 val flight : t -> Flight.t
 val opstats : t -> Opstats.t
+val traffic : t -> Traffic.t

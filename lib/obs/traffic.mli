@@ -1,0 +1,26 @@
+(** Cross-partition traversal traffic profile: a (src vertex, dst vertex)
+    -> (count, bytes) counter bag fed by the async engine's remote
+    dispatch path, consumed by the adaptive repartitioner and the JSON
+    exporters. Vertices are plain ints (this layer is graph-agnostic). *)
+
+type t
+
+(** Shared no-op instance; [record] on it is a single flag check. *)
+val disabled : t
+
+val create : unit -> t
+val enabled : t -> bool
+
+(** Count one remote traverser hop from the partition of vertex [src]
+    toward the partition keyed by vertex [dst], [bytes] on the wire. *)
+val record : t -> src:int -> dst:int -> bytes:int -> unit
+
+val total_count : t -> int
+val total_bytes : t -> int
+val distinct_edges : t -> int
+val clear : t -> unit
+
+(** Profiled edges as [(src, dst, count, bytes)], sorted by (src, dst). *)
+val edges : t -> (int * int * int * int) array
+
+val json : t -> Json.t

@@ -32,6 +32,10 @@ val count_retransmit : t -> unit
 val count_dup_dropped : t -> unit
 val count_ack : t -> unit
 val count_abandoned : t -> unit
+val count_migration : t -> unit
+val count_migrated_entries : t -> int -> unit
+val count_forwarded : t -> unit
+val count_stashed : t -> unit
 val messages : t -> msg_kind -> int
 val message_bytes : t -> msg_kind -> int
 val total_messages : t -> int
@@ -56,6 +60,16 @@ val retransmits : t -> int
 val dup_dropped : t -> int
 val acks : t -> int
 val abandoned : t -> int
+
+(** Adaptive-repartitioning counters; all zero with static partitioning. *)
+val migrations : t -> int
+
+val migrated_entries : t -> int
+val forwarded : t -> int
+val stashed : t -> int
+
+(** Whether any migration counter is non-zero. *)
+val migration_seen : t -> bool
 
 (** Whether any fault-plane counter is non-zero. *)
 val faults_seen : t -> bool
