@@ -5,7 +5,7 @@
    order; with an argument, runs one experiment:
 
      table1 table2 fig7 fig8 fig8l fig8sn fig9 fig10 fig11 fig12 fig13
-     plan partition repartition micro
+     plan partition repartition khop micro
 
    All latencies are simulated milliseconds on the 8-node cluster model;
    see DESIGN.md for the hardware substitution rationale and
@@ -33,6 +33,10 @@ let experiments =
     ( "repartition-smoke",
       "Smoke: cold adaptive repartitioning with the sanitizer on",
       Bench_repartition.smoke );
+    ("khop", "k-hop throughput: frontier batching and the plan cache", Bench_khop.run);
+    ( "batch-smoke",
+      "Smoke: batched execution + plan-cache hit with the sanitizer on",
+      Bench_khop.smoke );
     ("micro", "Microbenchmarks", Bench_micro.run);
     ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
     ("faults", "Fault sweep: GraphDance under an unreliable network", Bench_faults.run);
@@ -79,7 +83,8 @@ let () =
        fixtures, not figures. *)
     List.iter
       (fun (n, _, _) ->
-        if n <> "smoke" && n <> "faults" && n <> "repartition-smoke" then run_one n)
+        if n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke" then
+          run_one n)
       experiments
   | names -> List.iter run_one names);
   match json_path with

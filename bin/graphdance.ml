@@ -62,6 +62,14 @@ let workers_arg =
   let doc = "Worker threads per node (one graph partition each)." in
   Arg.(value & opt int 16 & info [ "workers" ] ~doc)
 
+let batched_arg =
+  let doc =
+    "Enable frontier-batched execution: fusable Expand/Filter chains run as CSR-range \
+     scans over each (partition, step) batch, and remote children ship as one coalesced \
+     message per destination. Only the async engine batches; the oracle ignores the flag."
+  in
+  Arg.(value & flag & info [ "batched" ] ~doc)
+
 (* --- Commands --- *)
 
 let datasets_cmd =
@@ -106,13 +114,14 @@ let resolve_engine ~config name =
       (Fmt.str "unknown engine %S (available: %s, or async)" name
          (String.concat ", " (Registry.names ~registry ())))
 
-let run_query dataset text engine nodes workers =
+let run_query dataset text engine nodes workers batched =
   let ( let* ) = Result.bind in
   let* graph = load_graph dataset in
   let* program = compile_query graph text in
   let config = { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers } in
   let* (module E : Engine.S) = resolve_engine ~config engine in
-  let report = E.run ~graph [| Engine.submit program |] in
+  let common = Engine.Common.with_batched batched Engine.Common.default in
+  let report = E.run ~common ~graph [| Engine.submit program |] in
   let q = report.Engine.queries.(0) in
   let rows = q.Engine.rows in
   (* The oracle has no clock, so its synthesized report carries no
@@ -124,6 +133,10 @@ let run_query dataset text engine nodes workers =
       | None -> ()
       | Some l -> Fmt.pf ppf "; simulated latency %a" Sim_time.pp l)
     latency;
+  (if batched then
+     let m = report.Engine.metrics in
+     Fmt.pr "-- batching: %d batch(es), %d traverser(s) batched, %d coalesced message(s)@."
+       (Metrics.batches m) (Metrics.batched_traversers m) (Metrics.coalesced_msgs m));
   Ok ()
 
 let to_exit = function
@@ -133,12 +146,13 @@ let to_exit = function
     1
 
 let query_cmd =
-  let run dataset text engine nodes workers =
-    to_exit (run_query dataset text engine nodes workers)
+  let run dataset text engine nodes workers batched =
+    to_exit (run_query dataset text engine nodes workers batched)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a Gremlin query on a simulated cluster")
-    Term.(const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg)
+    Term.(
+      const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg $ batched_arg)
 
 let explain_cmd =
   let run dataset text =
@@ -314,8 +328,8 @@ let chaos_cmd =
     | x :: rest ->
       Result.bind (parse x) (fun v -> Result.map (fun vs -> v :: vs) (parse_all parse rest))
   in
-  let run dataset text engine nodes workers drop dup delay_prob delay_us slow pauses seed
-      deadline_ms =
+  let run dataset text engine nodes workers batched drop dup delay_prob delay_us slow pauses
+      seed deadline_ms =
     to_exit
       (let ( let* ) = Result.bind in
        let* graph = load_graph dataset in
@@ -342,6 +356,7 @@ let chaos_cmd =
          {
            Engine.Common.default with
            Engine.Common.check = true;
+           batched;
            faults = Some spec;
            deadline = Option.map Sim_time.ms deadline_ms;
          }
@@ -385,8 +400,8 @@ let chaos_cmd =
          "Run a query under injected faults (drop/duplicate/delay, stragglers, pauses) with \
           the sanitizer on, and check results against the reference oracle")
     Term.(
-      const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg $ drop_arg
-      $ dup_arg $ delay_prob_arg $ delay_us_arg $ slow_arg $ pause_arg $ seed_arg
+      const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg $ batched_arg
+      $ drop_arg $ dup_arg $ delay_prob_arg $ delay_us_arg $ slow_arg $ pause_arg $ seed_arg
       $ deadline_ms_arg)
 
 let repartition_cmd =

@@ -35,6 +35,20 @@ let split2 prng w =
   let r = random prng in
   (r, w - r)
 
+(* Same split written into a caller-owned buffer: the batched executor
+   splits once per frontier parent and reuses one buffer across them.
+   The draws come from [Prng.fill_int63] — the same stream as repeated
+   [random] calls, minus the per-draw Int64 boxing. *)
+let split_into prng w out ~n =
+  if n <= 0 then invalid_arg "Weight.split_into: n must be positive";
+  if Array.length out < n then invalid_arg "Weight.split_into: buffer too small";
+  Prng.fill_int63 prng out ~n:(n - 1);
+  let remaining = ref w in
+  for i = 0 to n - 2 do
+    remaining := !remaining - out.(i)
+  done;
+  out.(n - 1) <- !remaining
+
 let split prng w ~n =
   if n <= 0 then invalid_arg "Weight.split: n must be positive";
   let shares = Array.make n 0 in

@@ -29,6 +29,11 @@ val split2 : Prng.t -> t -> t * t
 (** Split into [n] shares summing to the input; each share uniform. *)
 val split : Prng.t -> t -> n:int -> t array
 
+(** Like {!split}, but writes the [n] shares into [out.(0 .. n-1)]
+    (which must be at least [n] long) — the allocation-free form for the
+    batched executor's hot path. *)
+val split_into : Prng.t -> t -> t array -> n:int -> unit
+
 (** Serialized size of a weight in a progress message, in bytes. *)
 val bytes : int
 

@@ -88,6 +88,12 @@ let default_options =
 
 type payload =
   | P_trav of { qid : int; trav : Traverser.t }
+  | P_trav_batch of { qid : int; travs : Traverser.t list }
+    (* Frontier batching ([Engine.Common.batched]): one coalesced message
+       per (destination, step) group instead of one packet per traverser.
+       Each traverser still carries its own step and weight, so reliable
+       delivery (ack / retransmit / dedup) treats the batch like any
+       other payload and conservation is untouched. *)
   | P_progress of { qid : int; phase : int; weight : Weight.t }
   | P_agg_flush of { qid : int; agg_step : int }
   | P_agg_partial of { qid : int; agg_step : int; partial : Aggregate.t option }
@@ -102,6 +108,10 @@ type payload =
 
 let payload_bytes = function
   | P_trav { trav; _ } -> 8 + Traverser.bytes trav
+  | P_trav_batch { travs; _ } ->
+    (* One header amortized over the batch; elements pay only their own
+       serialized size, not a per-message frame. *)
+    List.fold_left (fun acc t -> acc + Traverser.bytes t) 16 travs
   | P_progress _ -> 8 + Weight.bytes + 8
   | P_agg_flush _ -> 16
   | P_agg_partial { partial; _ } ->
@@ -140,6 +150,7 @@ type worker = {
   mutable busy_total : Sim_time.t; (* accumulated CPU time *)
   mutable awake : bool; (* a quantum event is scheduled *)
   members : int array Lazy.t; (* owned vertices, for Scan sources *)
+  scratch : Batch_exec.scratch Lazy.t; (* batched-mode bitset verdict memo *)
 }
 
 let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_config
@@ -147,6 +158,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   let obs = common.Engine.Common.obs in
   let check = common.Engine.Common.check in
   let deadline = common.Engine.Common.deadline in
+  (* Frontier batching is opt-in; everything it touches is gated on this
+     flag so the unbatched path stays byte-identical. *)
+  let batched = common.Engine.Common.batched in
   let cluster = Cluster.create cluster_config in
   (* Fault plane (if any) attaches before the channel is created, so the
      channel sees it and switches to reliable delivery. *)
@@ -226,6 +240,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                (each vertex scanned exactly once no matter what moves). *)
             (if adaptive_on then Lazy.from_val (Partition.members partition id)
              else lazy (Partition.members partition id));
+          scratch = lazy (Batch_exec.scratch ~graph);
         })
   in
   (* Flight-recorder series handles, resolved once (lookup is linear). *)
@@ -680,6 +695,12 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         !cost
       end
     end
+    | P_trav_batch { qid; travs } ->
+      (* Only the batched drain produces these, and it also consumes them;
+         if one reaches the scalar path anyway, unpack and run in order. *)
+      List.fold_left
+        (fun acc trav -> Sim_time.add acc (process w ~at (P_trav { qid; trav })))
+        Sim_time.zero travs
     | P_progress { qid; phase; weight } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
@@ -813,6 +834,239 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           if obs_on then incr inflight;
           deliver q.coordinator (P_trav { qid = q.qid; trav = root }))
       entries
+  (* ---- Frontier batching ([Engine.Common.batched]) ---------------------
+     The quantum drains its task queue into per-(qid, step) frontier
+     groups (first-seen order) and executes each group once: fusable
+     chains run through {!Batch_exec} as CSR-range scans, everything else
+     runs the scalar interpreter with the dispatch cost amortized over
+     the batch. Staging is strictly intra-quantum — every staged group
+     executes before the quantum ends — so no weight is ever parked
+     across quanta and termination detection is untouched. *)
+  and drain_batched w local budget =
+    let groups : (int * int, Traverser.t Vec.t) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    let stage qid (trav : Traverser.t) =
+      if obs_on then decr inflight;
+      let key = (qid, trav.Traverser.step) in
+      match Hashtbl.find_opt groups key with
+      | Some bucket -> Vec.push bucket trav
+      | None ->
+        let bucket = Vec.create ~dummy:trav in
+        Vec.push bucket trav;
+        Hashtbl.add groups key bucket;
+        order := key :: !order
+    in
+    while !budget > 0 && not (Queue.is_empty w.tasks) do
+      match Queue.pop w.tasks with
+      | P_trav { qid; trav } ->
+        decr budget;
+        stage qid trav
+      | P_trav_batch { qid; travs } ->
+        (* Each element charges the budget: a batch is cheaper to execute,
+           not free to schedule. *)
+        List.iter
+          (fun trav ->
+            decr budget;
+            stage qid trav)
+          travs
+      | payload ->
+        decr budget;
+        local := Sim_time.add !local (fault_scale w.id (process w ~at:!local payload))
+    done;
+    List.iter
+      (fun (qid, step_idx) ->
+        let travs = Vec.to_array (Hashtbl.find groups (qid, step_idx)) in
+        local :=
+          Sim_time.add !local (fault_scale w.id (exec_batch w ~at:!local ~qid ~step_idx travs)))
+      (List.rev !order)
+  and exec_batch w ~at ~qid ~step_idx travs_all =
+    match Hashtbl.find_opt queries qid with
+    | None -> Sim_time.zero
+    | Some q when not q.active -> Sim_time.zero
+    | Some q ->
+      let cost = ref Sim_time.zero in
+      (* The migration gate reruns at execution time: the owner table may
+         have flipped while the group sat staged, and a stale execution
+         of a stateful step would read half-moved memo state. *)
+      let runnable =
+        if not adaptive_on then travs_all
+        else
+          Array.of_list
+            (List.filter
+               (fun trav ->
+                 match stateful_key_vertex q trav with
+                 | Some v when Partition.owner partition v <> w.id ->
+                   Metrics.count_forwarded metrics;
+                   if obs_on then incr inflight;
+                   cost :=
+                     Sim_time.add !cost
+                       (send ~at ~src:w.id ~dst:(Partition.owner partition v)
+                          ~kind:Metrics.Traverser_msg (P_trav { qid; trav }));
+                   false
+                 | Some v when Hashtbl.mem migrating v ->
+                   Metrics.count_stashed metrics;
+                   let stash = Hashtbl.find migrating v in
+                   stash := P_trav { qid; trav } :: !stash;
+                   false
+                 | _ -> true)
+               (Array.to_list travs_all))
+      in
+      let n = Array.length runnable in
+      if n = 0 then !cost
+      else begin
+        if obs_on && Bitset.add_if_absent q.touched w.id then
+          Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid) ~name:"first_touch" ~ts:at
+            ~args:[ ("worker", Pstm_obs.Trace.I w.id) ]
+            ();
+        Metrics.count_batch metrics ~traversers:n;
+        for _ = 1 to n do
+          Metrics.count_step metrics
+        done;
+        (* Execute: fused chain over the whole frontier, or the scalar
+           interpreter per element with the dispatch amortized. Children
+           are paired with their parent's vertex for traffic profiling. *)
+        let spawns : (int * Traverser.t) Vec.t = Vec.create ~dummy:(0, runnable.(0)) in
+        let rows = ref [] in
+        let finished = ref Weight.zero in
+        let edges = ref 0 in
+        let reads = ref 0 in
+        let memo_ops = ref 0 in
+        let memo_hits = ref 0 in
+        let memo_misses = ref 0 in
+        if Batch_exec.fusable q.program step_idx then begin
+          let o =
+            Batch_exec.run ~graph ~scratch:(Lazy.force w.scratch) ~prng:w.prng
+              ~program:q.program ~step:step_idx runnable
+          in
+          if check && not (Batch_exec.conserves runnable o) then
+            Engine.check_fail "async: query %d batch at step %d (%s) broke weight conservation"
+              qid step_idx
+              (Step.op_name (Program.step q.program step_idx).Step.op);
+          Batch_exec.iter_spawns o (fun ~parent child ->
+              Vec.push spawns (runnable.(parent).Traverser.vertex, child));
+          finished := o.Batch_exec.finished;
+          edges := o.Batch_exec.edges_scanned;
+          reads := o.Batch_exec.prop_reads
+        end
+        else begin
+          let scan label =
+            let mine = Lazy.force w.members in
+            match label with
+            | None -> mine
+            | Some l ->
+              Array.of_seq
+                (Seq.filter (Graph.has_vertex_label graph ~label:l) (Array.to_seq mine))
+          in
+          Array.iter
+            (fun (trav : Traverser.t) ->
+              let o = Exec.exec ~graph ~memo:w.memo ~prng:w.prng ~qid ~program:q.program ~scan trav in
+              if check && not (Exec.conserves trav o) then
+                Engine.check_fail "async: query %d step %d (%s) broke weight conservation" qid
+                  trav.Traverser.step
+                  (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
+              List.iter (fun c -> Vec.push spawns (trav.Traverser.vertex, c)) o.Exec.spawns;
+              rows := List.rev_append o.Exec.rows !rows;
+              finished := Weight.add !finished o.Exec.finished;
+              edges := !edges + o.Exec.edges_scanned;
+              reads := !reads + o.Exec.prop_reads;
+              memo_ops := !memo_ops + o.Exec.memo_ops;
+              memo_hits := !memo_hits + o.Exec.memo_hits;
+              memo_misses := !memo_misses + o.Exec.memo_misses)
+            runnable;
+          rows := List.rev !rows
+        end;
+        Metrics.count_edges metrics !edges;
+        (* Per-batch cost: ONE dispatch plus the data/memo volume — the
+           amortization the batching exists for. *)
+        let data = (!edges * costs.Cluster.per_edge) + (!reads * costs.Cluster.per_property) in
+        let data = if options.shared_state then data + (data / 2) else data in
+        let base_cost =
+          costs.Cluster.step_dispatch + shared_step_penalty () + data
+          + (!memo_ops * memo_op_cost ())
+        in
+        let base_cost = if swapping then base_cost * options.swap_penalty else base_cost in
+        if obs_on then
+          Pstm_obs.Opstats.record opstats ~step:step_idx ~out:(Vec.length spawns)
+            ~rows:(List.length !rows)
+            ~finished:(not (Weight.is_zero !finished))
+            ~edges:!edges ~memo_hits:!memo_hits ~memo_misses:!memo_misses
+            ~busy_ns:(Sim_time.to_ns base_cost);
+        cost := Sim_time.add !cost base_cost;
+        (* Coalesced dispatch: group children by (destination, kind) and
+           ship one P_trav_batch per group. *)
+        let buckets : (int * Metrics.msg_kind, (int * Traverser.t) Vec.t) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let bucket_order = ref [] in
+        Vec.iter
+          (fun (parent_vertex, (child : Traverser.t)) ->
+            Metrics.count_spawn metrics;
+            let dst = route q child in
+            let kind =
+              match (Program.step q.program child.Traverser.step).Step.op with
+              | Step.Emit _ -> Metrics.Result_msg
+              | _ -> Metrics.Traverser_msg
+            in
+            let key = (dst, kind) in
+            match Hashtbl.find_opt buckets key with
+            | Some b -> Vec.push b (parent_vertex, child)
+            | None ->
+              let b = Vec.create ~dummy:(parent_vertex, child) in
+              Vec.push b (parent_vertex, child);
+              Hashtbl.add buckets key b;
+              bucket_order := key :: !bucket_order)
+          spawns;
+        List.iter
+          (fun (dst, kind) ->
+            let children = Hashtbl.find buckets (dst, kind) in
+            if obs_on then inflight := !inflight + Vec.length children;
+            if dst <> w.id then Metrics.count_coalesced_msg metrics;
+            let travs = List.map snd (Vec.to_list children) in
+            cost :=
+              Sim_time.add !cost (send ~at ~src:w.id ~dst ~kind (P_trav_batch { qid; travs }));
+            if (traffic_on || adaptive_on) && dst <> w.id then
+              Vec.iter
+                (fun (parent_vertex, child) ->
+                  match routed_vertex q child with
+                  | None -> ()
+                  | Some v ->
+                    let bytes = 8 + Traverser.bytes child in
+                    Pstm_obs.Traffic.record obs_traffic ~src:parent_vertex ~dst:v ~bytes;
+                    Pstm_obs.Traffic.record profile ~src:parent_vertex ~dst:v ~bytes)
+                children)
+          (List.rev !bucket_order);
+        if adaptive_on then cost := Sim_time.add !cost (maybe_adapt ~at ~src:w.id);
+        (* Rows land here at the coordinator (Emit routes there first);
+           their weight reaches the tracker as one per-batch merge. *)
+        if !rows <> [] then begin
+          assert (w.id = q.coordinator);
+          let row_weight = ref Weight.zero in
+          List.iter
+            (fun (row, weight) ->
+              Vec.push q.rows row;
+              row_weight := Weight.add !row_weight weight)
+            !rows;
+          cost :=
+            Sim_time.add !cost
+              (tracker_receive ~at w q (Program.phase_of_step q.program step_idx) !row_weight)
+        end;
+        if not (Weight.is_zero !finished) then
+          cost :=
+            Sim_time.add !cost
+              (finish_weight ~at w q (Program.phase_of_step q.program step_idx) !finished);
+        if obs_on then
+          Pstm_obs.Trace.span trace ~tid:w.id
+            ~name:("batch:" ^ Step.op_name (Program.step q.program step_idx).Step.op)
+            ~ts:at ~dur:!cost
+            ~args:
+              [
+                ("qid", Pstm_obs.Trace.I qid);
+                ("step", Pstm_obs.Trace.I step_idx);
+                ("size", Pstm_obs.Trace.I n);
+              ]
+            ();
+        !cost
+      end
   and quantum w =
     (* [awake] stays true while the quantum runs: self-sends and deferred
        events need no extra wakeup, and the tail of this function either
@@ -840,11 +1094,13 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         Sim_time.add !local
           (fault_scale w.id (costs.Cluster.operator_sched * !active_op_count));
     let budget = ref options.quantum in
-    while !budget > 0 && not (Queue.is_empty w.tasks) do
-      decr budget;
-      let payload = Queue.pop w.tasks in
-      local := Sim_time.add !local (fault_scale w.id (process w ~at:!local payload))
-    done;
+    if batched then drain_batched w local budget
+    else
+      while !budget > 0 && not (Queue.is_empty w.tasks) do
+        decr budget;
+        let payload = Queue.pop w.tasks in
+        local := Sim_time.add !local (fault_scale w.id (process w ~at:!local payload))
+      done;
     (* Coalesced weights ship when the worker idles or once enough have
        merged locally to justify a message (§IV-A: they ride along with
        buffer flushes, not with every death). *)

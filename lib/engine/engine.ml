@@ -32,6 +32,7 @@ module Common = struct
     deadline : Sim_time.t option; (* stop the run at this simulated time *)
     seed : int; (* placement / tie-break randomness *)
     faults : Faults.spec option; (* deterministic fault schedule *)
+    batched : bool; (* frontier-batched execution (engines may ignore it) *)
   }
 
   let default =
@@ -41,6 +42,7 @@ module Common = struct
       deadline = None;
       seed = 0x5157;
       faults = None;
+      batched = false;
     }
 
   let with_obs obs t = { t with obs }
@@ -48,6 +50,7 @@ module Common = struct
   let with_deadline deadline t = { t with deadline }
   let with_seed seed t = { t with seed }
   let with_faults faults t = { t with faults }
+  let with_batched batched t = { t with batched }
 end
 
 type query_report = {

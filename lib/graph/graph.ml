@@ -69,6 +69,9 @@ let iter_adjacent t ~dir ?label v f =
     Csr.iter_neighbors t.out_csr ?label v f;
     Csr.iter_neighbors t.in_csr ?label v f
 
+let out_csr t = t.out_csr
+let in_csr t = t.in_csr
+
 let adjacent t ~dir ?label v =
   let out = Vec.create ~dummy:0 in
   iter_adjacent t ~dir ?label v (fun ~target ~edge_id:_ ~label:_ -> Vec.push out target);

@@ -41,6 +41,13 @@ val iter_adjacent :
   unit
 
 val adjacent : t -> dir:direction -> ?label:int -> int -> int array
+
+(** Direct CSR handles for one traversal direction ([Both] has no single
+    CSR). Batch frontier scans use these with {!Csr.slice} /
+    {!Csr.fold_neighbors_range} to sweep adjacency ranges closure-free. *)
+val out_csr : t -> Csr.t
+
+val in_csr : t -> Csr.t
 val vertex_prop : t -> key:int -> int -> Value.t
 
 (** Convenience lookup by property-key name; [Null] when the key or value

@@ -3,6 +3,20 @@
    the engine report exporter. All field orders are fixed so the output
    is byte-stable across runs. *)
 
+let opt_float = function None -> Json.Null | Some x -> Json.Float x
+
+let histogram_json (h : Histogram.t) =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("min", opt_float (Histogram.min_seen h));
+      ("max", opt_float (Histogram.max_seen h));
+      ("p50", Json.Float (Histogram.percentile h 50.0));
+      ("p90", Json.Float (Histogram.percentile h 90.0));
+      ("p99", Json.Float (Histogram.percentile h 99.0));
+    ]
+
 let metrics_json (m : Metrics.t) =
   let per_kind f =
     Json.Obj (List.map (fun kind -> (Metrics.kind_name kind, Json.Int (f m kind))) Metrics.all_kinds)
@@ -34,20 +48,13 @@ let metrics_json (m : Metrics.t) =
       ("migrated_entries", Json.Int (Metrics.migrated_entries m));
       ("forwarded", Json.Int (Metrics.forwarded m));
       ("stashed", Json.Int (Metrics.stashed m));
-    ]
-
-let opt_float = function None -> Json.Null | Some x -> Json.Float x
-
-let histogram_json (h : Histogram.t) =
-  Json.Obj
-    [
-      ("count", Json.Int (Histogram.count h));
-      ("mean", Json.Float (Histogram.mean h));
-      ("min", opt_float (Histogram.min_seen h));
-      ("max", opt_float (Histogram.max_seen h));
-      ("p50", Json.Float (Histogram.percentile h 50.0));
-      ("p90", Json.Float (Histogram.percentile h 90.0));
-      ("p99", Json.Float (Histogram.percentile h 99.0));
+      ("batches", Json.Int (Metrics.batches m));
+      ("batched_traversers", Json.Int (Metrics.batched_traversers m));
+      ("coalesced_msgs", Json.Int (Metrics.coalesced_msgs m));
+      ("batch_sizes", histogram_json (Metrics.batch_sizes m));
+      ("plan_hits", Json.Int (Metrics.plan_hits m));
+      ("plan_misses", Json.Int (Metrics.plan_misses m));
+      ("plan_verifications", Json.Int (Metrics.plan_verifications m));
     ]
 
 let summary_json (s : Stats.summary) =

@@ -53,6 +53,15 @@ type t = {
   mutable migrated_entries : int; (* memo entries re-homed *)
   mutable forwarded : int; (* traversers forwarded to a vertex's new owner *)
   mutable stashed : int; (* traversers parked awaiting migration data *)
+  (* Frontier batching (all zero when batching is off): *)
+  mutable batches : int; (* frontier batches executed *)
+  mutable batched_traversers : int; (* traversers carried by those batches *)
+  mutable coalesced_msgs : int; (* remote traverser-batch messages *)
+  mutable batch_sizes : Histogram.t; (* traversers-per-batch distribution *)
+  (* Compiled-plan cache (mirrored from Plan_cache by the harness): *)
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_verifications : int; (* full verifier runs (cold compiles) *)
 }
 
 let create () =
@@ -81,6 +90,13 @@ let create () =
     migrated_entries = 0;
     forwarded = 0;
     stashed = 0;
+    batches = 0;
+    batched_traversers = 0;
+    coalesced_msgs = 0;
+    batch_sizes = Histogram.create ~base:1.0 ();
+    plan_hits = 0;
+    plan_misses = 0;
+    plan_verifications = 0;
   }
 
 let reset t =
@@ -107,7 +123,14 @@ let reset t =
   t.migrations <- 0;
   t.migrated_entries <- 0;
   t.forwarded <- 0;
-  t.stashed <- 0
+  t.stashed <- 0;
+  t.batches <- 0;
+  t.batched_traversers <- 0;
+  t.coalesced_msgs <- 0;
+  t.batch_sizes <- Histogram.create ~base:1.0 ();
+  t.plan_hits <- 0;
+  t.plan_misses <- 0;
+  t.plan_verifications <- 0
 
 let count_message t kind bytes =
   let i = kind_index kind in
@@ -140,6 +163,21 @@ let count_migrated_entries t n = t.migrated_entries <- t.migrated_entries + n
 let count_forwarded t = t.forwarded <- t.forwarded + 1
 let count_stashed t = t.stashed <- t.stashed + 1
 
+let count_batch t ~traversers =
+  t.batches <- t.batches + 1;
+  t.batched_traversers <- t.batched_traversers + traversers;
+  Histogram.add t.batch_sizes (float_of_int traversers)
+
+let count_coalesced_msg t = t.coalesced_msgs <- t.coalesced_msgs + 1
+let count_plan_hit t = t.plan_hits <- t.plan_hits + 1
+let count_plan_miss t = t.plan_misses <- t.plan_misses + 1
+let count_plan_verification t = t.plan_verifications <- t.plan_verifications + 1
+
+let add_plan_stats t ~hits ~misses ~verifications =
+  t.plan_hits <- t.plan_hits + hits;
+  t.plan_misses <- t.plan_misses + misses;
+  t.plan_verifications <- t.plan_verifications + verifications
+
 let messages t kind = t.messages.(kind_index kind)
 let message_bytes t kind = t.bytes.(kind_index kind)
 let total_messages t = Array.fold_left ( + ) 0 t.messages
@@ -166,7 +204,18 @@ let migrated_entries t = t.migrated_entries
 let forwarded t = t.forwarded
 let stashed t = t.stashed
 
+let batches t = t.batches
+let batched_traversers t = t.batched_traversers
+let coalesced_msgs t = t.coalesced_msgs
+let batch_sizes t = t.batch_sizes
+let plan_hits t = t.plan_hits
+let plan_misses t = t.plan_misses
+let plan_verifications t = t.plan_verifications
+
 let migration_seen t = t.migrations + t.migrated_entries + t.forwarded + t.stashed > 0
+
+let batching_seen t = t.batches + t.coalesced_msgs > 0
+let plan_cache_seen t = t.plan_hits + t.plan_misses > 0
 
 let faults_seen t =
   t.fault_drops + t.fault_dups + t.fault_delays + t.retransmits + t.dup_dropped + t.acks
@@ -189,4 +238,12 @@ let pp ppf t =
      static-partition output is unchanged. *)
   if migration_seen t then
     Fmt.pf ppf " migrations=%d rehomed=%d forwarded=%d stashed=%d" t.migrations
-      t.migrated_entries t.forwarded t.stashed
+      t.migrated_entries t.forwarded t.stashed;
+  (* Batch counters only appear when frontier batching ran, so the
+     unbatched output is unchanged. *)
+  if batching_seen t then
+    Fmt.pf ppf " batches=%d batched_travs=%d coalesced=%d" t.batches t.batched_traversers
+      t.coalesced_msgs;
+  if plan_cache_seen t then
+    Fmt.pf ppf " plan_hits=%d plan_misses=%d verified=%d" t.plan_hits t.plan_misses
+      t.plan_verifications

@@ -36,6 +36,16 @@ val count_migration : t -> unit
 val count_migrated_entries : t -> int -> unit
 val count_forwarded : t -> unit
 val count_stashed : t -> unit
+val count_batch : t -> traversers:int -> unit
+val count_coalesced_msg : t -> unit
+val count_plan_hit : t -> unit
+val count_plan_miss : t -> unit
+val count_plan_verification : t -> unit
+
+(** Fold plan-cache statistics in bulk; used to mirror
+    [Pstm_query.Plan_cache.stats] (which cannot depend on this library)
+    into the run report. *)
+val add_plan_stats : t -> hits:int -> misses:int -> verifications:int -> unit
 val messages : t -> msg_kind -> int
 val message_bytes : t -> msg_kind -> int
 val total_messages : t -> int
@@ -68,8 +78,29 @@ val migrated_entries : t -> int
 val forwarded : t -> int
 val stashed : t -> int
 
+(** Frontier-batching counters; all zero when batching is off. *)
+val batches : t -> int
+
+val batched_traversers : t -> int
+val coalesced_msgs : t -> int
+
+(** Traversers-per-batch distribution. *)
+val batch_sizes : t -> Histogram.t
+
+(** Compiled-plan-cache counters; all zero when no cache is used. *)
+val plan_hits : t -> int
+
+val plan_misses : t -> int
+val plan_verifications : t -> int
+
 (** Whether any migration counter is non-zero. *)
 val migration_seen : t -> bool
+
+(** Whether any batching counter is non-zero. *)
+val batching_seen : t -> bool
+
+(** Whether any plan-cache counter is non-zero. *)
+val plan_cache_seen : t -> bool
 
 (** Whether any fault-plane counter is non-zero. *)
 val faults_seen : t -> bool

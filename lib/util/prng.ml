@@ -26,6 +26,21 @@ let split t =
 (* A non-negative 62-bit integer. *)
 let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
+(* [n] consecutive draws written as native ints, identical to [n] calls
+   of [Int64.to_int (next_int64 t)]. The state round-trips through a
+   local ref so the int64 arithmetic stays unboxed inside the loop —
+   this is the batched weight-splitter's hot path. *)
+let fill_int63 t out ~n =
+  let s = ref t.state in
+  for i = 0 to n - 1 do
+    s := Int64.add !s golden_gamma;
+    let z = !s in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    out.(i) <- Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31))
+  done;
+  t.state <- !s
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   next_int t mod bound
