@@ -1,0 +1,104 @@
+(* Model-checking smoke: the schedule explorer over every registry engine
+   plus the mutation-catching table, with its counters mirrored into
+   --json so CI pins the explorer's vital signs (schedules run,
+   dependence classes seen, shrink effort).
+
+   Small budgets on purpose: this is a rot detector for the conformance
+   plane (monitors wired, choosers honored, mutants still caught), not a
+   soundness proof — test/test_mc.ml and `graphdance mc` carry the full
+   budgets. *)
+
+open Pstm_engine
+module Explore = Pstm_analysis.Explore
+module Mc = Pstm_mc.Mc
+open Harness
+
+let budget = 16
+let walks = 4
+
+let smoke () =
+  (* Every registry engine survives a small sweep of the default
+     scenario. Engines without an event queue (bsp, local) contribute
+     zero choice points — the sweep then just re-checks oracle equality
+     schedule after schedule. *)
+  let registry =
+    Registry.make
+      ~cluster_config:{ Cluster.default_config with Cluster.n_nodes = 3; workers_per_node = 3 }
+      ()
+  in
+  let engine_rows =
+    List.map
+      (fun (name, e) ->
+        let report =
+          Explore.explore ~budget ~random_walks:walks
+            ~run:(Mc.engine_runner e Mc.default)
+            ()
+        in
+        let verdict =
+          match report.Explore.counterexample with
+          | None -> "clean"
+          | Some cx -> "VIOLATION " ^ Explore.token_to_string cx.Explore.cx_token
+        in
+        (match report.Explore.counterexample with
+        | None -> ()
+        | Some cx ->
+          Printf.eprintf "mc-smoke: %s violated: %s\n" name cx.Explore.cx_detail;
+          exit 1);
+        record_json
+          (J.Obj
+             [
+               ("kind", J.Str "mc");
+               ("label", J.Str ("engine:" ^ name));
+               ("schedules", J.Int report.Explore.schedules);
+               ("choice_points", J.Int report.Explore.choice_points);
+               ("dependence_classes", J.Int report.Explore.max_classes);
+             ]);
+        [
+          name;
+          string_of_int report.Explore.schedules;
+          string_of_int report.Explore.choice_points;
+          string_of_int report.Explore.max_classes;
+          verdict;
+        ])
+      registry
+  in
+  print_table ~title:"mc-smoke: unmutated conformance sweep (khop scenario)"
+    ~headers:[ "Engine"; "Schedules"; "Choice points"; "Dep. classes"; "Verdict" ]
+    engine_rows;
+  (* Every protocol mutant is caught within the small budget. *)
+  let mutant_rows =
+    List.map
+      (fun m ->
+        let s = Mc.for_mutation m in
+        let report =
+          Explore.explore ~budget ~random_walks:walks ~run:(Mc.runner ~mutation:m s) ()
+        in
+        match report.Explore.counterexample with
+        | None ->
+          Printf.eprintf "mc-smoke: mutant %s escaped\n" (Mutation.name m);
+          exit 1
+        | Some cx ->
+          let shrink_len = List.length cx.Explore.cx_token in
+          record_json
+            (J.Obj
+               [
+                 ("kind", J.Str "mc");
+                 ("label", J.Str ("mutant:" ^ Mutation.name m));
+                 ("scenario", J.Str (Mc.name s));
+                 ("schedules", J.Int report.Explore.schedules);
+                 ("dependence_classes", J.Int report.Explore.max_classes);
+                 ("shrink_replays", J.Int cx.Explore.cx_shrink_tries);
+                 ("token_length", J.Int shrink_len);
+               ]);
+          [
+            Mutation.name m;
+            Mc.name s;
+            string_of_int report.Explore.schedules;
+            Explore.token_to_string cx.Explore.cx_token;
+            string_of_int shrink_len;
+          ])
+      Mutation.all
+  in
+  print_table ~title:"mc-smoke: mutation catching"
+    ~headers:[ "Mutant"; "Scenario"; "Schedules to catch"; "Replay token"; "Token length" ]
+    mutant_rows

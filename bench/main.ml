@@ -37,6 +37,9 @@ let experiments =
     ( "batch-smoke",
       "Smoke: batched execution + plan-cache hit with the sanitizer on",
       Bench_khop.smoke );
+    ( "mc-smoke",
+      "Smoke: schedule exploration + protocol mutation catching",
+      Bench_mc.smoke );
     ("micro", "Microbenchmarks", Bench_micro.run);
     ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
     ("faults", "Fault sweep: GraphDance under an unreliable network", Bench_faults.run);
@@ -83,7 +86,10 @@ let () =
        fixtures, not figures. *)
     List.iter
       (fun (n, _, _) ->
-        if n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke" then
+        if
+          n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke"
+          && n <> "mc-smoke"
+        then
           run_one n)
       experiments
   | names -> List.iter run_one names);

@@ -6,6 +6,7 @@
      explain  -d DS -q "..."  show the optimized plan without running it
      trace    -d DS -q "..."  run with tracing: operator stats + Chrome trace
      chaos    -d DS -q "..."  run under injected faults, checked against the oracle
+     mc       [-m MUTANT]     explore event interleavings; conformance + mutant catching
      repartition -d DS -q ... profile a workload, refine the owner table, compare
      ldbc     -d snb-s        run one pass of the LDBC IC/IS queries
      verify   -d DS [-q ...]  static-verify one query, or the LDBC suite
@@ -404,6 +405,156 @@ let chaos_cmd =
       $ drop_arg $ dup_arg $ delay_prob_arg $ delay_us_arg $ slow_arg $ pause_arg $ seed_arg
       $ deadline_ms_arg)
 
+let mc_cmd =
+  let module Explore = Pstm_analysis.Explore in
+  let module Mc = Pstm_mc.Mc in
+  let scenario_arg =
+    let doc =
+      Fmt.str
+        "Scenario to explore: %s, or \"auto\" to pick per mutant (khop when unmutated)."
+        (String.concat ", " (List.map Mc.name Mc.scenarios))
+    in
+    Arg.(value & opt string "auto" & info [ "s"; "scenario" ] ~docv:"SCENARIO" ~doc)
+  in
+  let budget_arg =
+    let doc = "Schedule budget: total engine runs, including shrink replays." in
+    Arg.(value & opt int 64 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let walks_arg =
+    let doc = "Seeded random walks out of the budget (the rest is systematic DPOR)." in
+    Arg.(value & opt int 16 & info [ "walks" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random-walk seed." in
+    Arg.(value & opt int 0x90c & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let mutant_arg =
+    let doc =
+      Fmt.str
+        "Seed a protocol mutant and demonstrate the checkers catch it: %s, or \"all\" for \
+         the whole table."
+        (String.concat ", " (List.map Mutation.name Mutation.all))
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "mutant" ] ~docv:"MUTANT" ~doc)
+  in
+  let token_arg =
+    let doc =
+      "Replay one exact schedule instead of exploring (a token printed by a previous run, \
+       e.g. \"12=1,40=2\" or \"default\")."
+    in
+    Arg.(value & opt (some string) None & info [ "t"; "token" ] ~docv:"TOKEN" ~doc)
+  in
+  let resolve_scenario name ~mutation =
+    match (name, mutation) with
+    | "auto", Some m -> Ok (Mc.for_mutation m)
+    | "auto", None -> Ok Mc.default
+    | _ -> begin
+      match Mc.find name with
+      | Some s -> Ok s
+      | None ->
+        Error
+          (Fmt.str "unknown scenario %S (available: %s, auto)" name
+             (String.concat ", " (List.map Mc.name Mc.scenarios)))
+    end
+  in
+  let resolve_mutants = function
+    | None -> Ok []
+    | Some "all" -> Ok Mutation.all
+    | Some name -> begin
+      match Mutation.of_string name with
+      | Some m -> Ok [ m ]
+      | None ->
+        Error
+          (Fmt.str "unknown mutant %S (available: %s, all)" name
+             (String.concat ", " (List.map Mutation.name Mutation.all)))
+    end
+  in
+  let pp_report ppf (r : Explore.report) =
+    Fmt.pf ppf "schedules=%d choice-points=%d dependence-classes=%d" r.Explore.schedules
+      r.Explore.choice_points r.Explore.max_classes
+  in
+  let run scenario budget walks seed mutant token =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* mutants = resolve_mutants mutant in
+       match token with
+       | Some tok ->
+         (* Exact replay of one schedule, optionally under one mutant. *)
+         let mutation = match mutants with [] -> None | m :: _ -> Some m in
+         let* s = resolve_scenario scenario ~mutation in
+         let* t = Explore.token_of_string tok in
+         let o = Explore.replay ~run:(Mc.runner ?mutation s) t in
+         (match (o.Explore.violation, mutation) with
+         | None, _ ->
+           Fmt.pr "scenario %s, schedule %s: conformant@." (Mc.name s)
+             (Explore.token_to_string t);
+           Ok ()
+         | Some why, Some m ->
+           Fmt.pr "scenario %s, schedule %s under mutant %s:@.  %s@." (Mc.name s)
+             (Explore.token_to_string t) (Mutation.name m) why;
+           Ok ()
+         | Some why, None ->
+           Error (Fmt.str "schedule %s violates: %s" (Explore.token_to_string t) why))
+       | None -> begin
+         match mutants with
+         | [] ->
+           (* Conformance sweep: the unmutated engine must survive every
+              explored schedule. *)
+           let* s = resolve_scenario scenario ~mutation:None in
+           let report =
+             Explore.explore ~budget ~random_walks:walks ~seed ~run:(Mc.runner s) ()
+           in
+           Fmt.pr "scenario %s: %a@." (Mc.name s) pp_report report;
+           (match report.Explore.counterexample with
+           | None ->
+             Fmt.pr "no violation found within budget@.";
+             Ok ()
+           | Some cx ->
+             Error
+               (Fmt.str "violation on schedule %s (shrunk from %s, %d shrink replays): %s"
+                  (Explore.token_to_string cx.Explore.cx_token)
+                  (Explore.token_to_string cx.Explore.cx_raw)
+                  cx.Explore.cx_shrink_tries cx.Explore.cx_detail))
+         | mutants ->
+           (* Mutation-catching table: every seeded protocol corruption
+              must be detected within the budget, and the shrunk token
+              must replay to the same failure. *)
+           let escaped = ref [] in
+           List.iter
+             (fun m ->
+               let s =
+                 match resolve_scenario scenario ~mutation:(Some m) with
+                 | Ok s -> s
+                 | Error _ -> Mc.for_mutation m
+               in
+               let run_fn = Mc.runner ~mutation:m s in
+               let report = Explore.explore ~budget ~random_walks:walks ~seed ~run:run_fn () in
+               match report.Explore.counterexample with
+               | Some cx ->
+                 Fmt.pr "%-22s %-10s caught in %3d schedule(s)  replay: -m %s -t %S@.  %s@."
+                   (Mutation.name m) (Mc.name s) report.Explore.schedules (Mutation.name m)
+                   (Explore.token_to_string cx.Explore.cx_token)
+                   cx.Explore.cx_detail
+               | None ->
+                 escaped := Mutation.name m :: !escaped;
+                 Fmt.pr "%-22s %-10s ESCAPED after %d schedule(s) (%a)@." (Mutation.name m)
+                   (Mc.name s) report.Explore.schedules pp_report report)
+             mutants;
+           match !escaped with
+           | [] -> Ok ()
+           | names ->
+             Error (Fmt.str "mutant(s) escaped: %s" (String.concat ", " (List.rev names)))
+       end)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Explore same-timestamp event interleavings of the async engine (bounded DPOR + \
+          random walks), checking protocol-monitor conformance and oracle-equal results on \
+          every schedule; optionally seed protocol mutants to validate the checkers")
+    Term.(
+      const run $ scenario_arg $ budget_arg $ walks_arg $ seed_arg $ mutant_arg $ token_arg)
+
 let repartition_cmd =
   let repeats_arg =
     let doc = "How many staggered submissions of the query make up the profiled workload." in
@@ -573,6 +724,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            datasets_cmd; query_cmd; explain_cmd; trace_cmd; chaos_cmd; repartition_cmd;
-            ldbc_cmd; verify_cmd;
+            datasets_cmd; query_cmd; explain_cmd; trace_cmd; chaos_cmd; mc_cmd;
+            repartition_cmd; ldbc_cmd; verify_cmd;
           ]))

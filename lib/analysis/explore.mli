@@ -1,0 +1,67 @@
+(** Bounded DPOR-style schedule exploration over {!Event_queue}
+    same-timestamp tie-breaks.
+
+    A schedule is identified by a replay token — the list of (choice
+    point, rank) decisions where it deviates from the default insertion
+    order. The systematic phase breadth-first extends the empty token one
+    decision at a time, deviating only where a tied entry would overtake
+    an earlier entry of its own dependence class (other reorderings
+    commute); seeded random walks cover deeper interleavings. Every
+    schedule must terminate without a sanitizer/monitor violation and
+    produce the same result fingerprint as schedule 0; a failing schedule
+    is shrunk to a minimal token. *)
+
+(** What one schedule produced: a canonical result digest and, if the run
+    failed (sanitizer, monitor, non-termination, oracle mismatch — the
+    caller decides), a description of the violation. *)
+type outcome = {
+  fingerprint : string;
+  violation : string option;
+}
+
+type decision = {
+  at : int;  (** choice-point index within the run *)
+  rank : int;  (** which tied entry fires first; 0 is the default order *)
+}
+
+type token = decision list
+
+(** ["default"] for the empty token, else ["12=1,40=2"]. *)
+val token_to_string : token -> string
+
+val token_of_string : string -> (token, string) result
+
+(** Runs one engine execution under the given chooser and reports its
+    outcome. Must be deterministic for a fixed chooser. *)
+type runner = Event_queue.chooser option -> outcome
+
+(** Re-run the exact schedule a token describes. *)
+val replay : run:runner -> token -> outcome
+
+type counterexample = {
+  cx_token : token;  (** shrunk to a locally-minimal failing token *)
+  cx_raw : token;  (** the failing token as first discovered *)
+  cx_detail : string;
+  cx_shrink_tries : int;
+}
+
+type report = {
+  schedules : int;  (** engine runs performed, including shrink replays *)
+  choice_points : int;  (** max choice points observed in one schedule *)
+  max_classes : int;  (** max distinct dependence classes at one tie *)
+  counterexample : counterexample option;
+}
+
+(** [explore ~run ()] searches up to [budget] schedules ([random_walks]
+    of them seeded random walks, the rest systematic), deviating only
+    within the first [horizon] choice points, and stops at the first
+    violation. *)
+val explore :
+  ?budget:int ->
+  ?random_walks:int ->
+  ?horizon:int ->
+  ?seed:int ->
+  ?walk_bias:float ->
+  run:runner ->
+  unit ->
+  report

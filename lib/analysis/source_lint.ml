@@ -25,6 +25,7 @@
 type hazard =
   | Unordered_iteration
   | Polymorphic_compare
+  | Float_compare
   | Raw_random
   | Wall_clock
 
@@ -38,6 +39,7 @@ type finding = {
 let hazard_name = function
   | Unordered_iteration -> "unordered-iteration"
   | Polymorphic_compare -> "polymorphic-compare"
+  | Float_compare -> "float-compare"
   | Raw_random -> "raw-random"
   | Wall_clock -> "wall-clock"
 
@@ -46,6 +48,8 @@ let hazard_hint = function
     "Hashtbl enumeration order is unspecified; sort the keys or justify with (* det-ok: ... *)"
   | Polymorphic_compare ->
     "polymorphic compare is fragile; use a domain compare or justify with (* det-ok: ... *)"
+  | Float_compare ->
+    "bare [compare] next to floats: NaN breaks its order; use Float.compare or justify with (* det-ok: ... *)"
   | Raw_random -> "global Random state is unseeded; draw from Prng instead"
   | Wall_clock -> "wall-clock reads leak host time into the simulation; use Sim time"
 
@@ -56,7 +60,10 @@ let detectors =
   [
     (Unordered_iteration, [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq" ]);
     (Polymorphic_compare, [ "List.sort compare"; "Array.sort compare"; "Stdlib.compare" ]);
-    (Raw_random, [ "Random." ]);
+    (* Random.self_init is listed on its own even though "Random." already
+       matches it: it is the worst member of the class (seeds from the
+       host environment, so no marker can ever justify it). *)
+    (Raw_random, [ "Random.self_init"; "Random." ]);
     (Wall_clock, [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]);
   ]
 
@@ -64,6 +71,30 @@ let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   nn > 0 && go 0
+
+(* Float-bearing polymorphic compare: [compare] as a bare identifier (not
+   [Module.compare], not part of a longer name) on a line that also
+   mentions floats. Structural compare orders every NaN above/below
+   inconsistently with IEEE, so domain order silently diverges; the
+   heuristic is deliberately narrow — cross-line cases are left to the
+   broader [Polymorphic_compare] needles and review. *)
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let bare_compare line =
+  let needle = "compare" in
+  let nh = String.length line and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh
+    && ((String.sub line i nn = needle
+        && (i = 0 || ((not (is_ident_char line.[i - 1])) && line.[i - 1] <> '.'))
+        && (i + nn = nh || not (is_ident_char line.[i + nn])))
+       || go (i + 1))
+  in
+  go 0
+
+let float_compare_hazard line =
+  bare_compare line && (contains line "float" || contains line "Float")
 
 (* Blank out (* ... *) comments and "..." string literals, preserving
    newlines so line numbers survive. Handles nested comments and quotes
@@ -143,13 +174,18 @@ let scan ~file src =
       let suppressed =
         allowlisted raw_line || (idx > 0 && allowlisted raw.(idx - 1))
       in
-      if not suppressed then
+      if not suppressed then begin
         List.iter
           (fun (hazard, needles) ->
             if List.exists (contains line) needles then
               findings :=
                 { file; line = idx + 1; hazard; excerpt = String.trim raw_line } :: !findings)
-          detectors)
+          detectors;
+        if float_compare_hazard line then
+          findings :=
+            { file; line = idx + 1; hazard = Float_compare; excerpt = String.trim raw_line }
+            :: !findings
+      end)
     stripped;
   List.rev !findings
 

@@ -8,7 +8,8 @@
 type hazard =
   | Unordered_iteration  (** Hashtbl.iter/fold/to_seq: bucket order *)
   | Polymorphic_compare  (** structural compare on unconstrained values *)
-  | Raw_random  (** Random.* outside the seeded Prng *)
+  | Float_compare  (** bare [compare] on a float-bearing line: NaN order *)
+  | Raw_random  (** Random.* outside the seeded Prng (self_init worst) *)
   | Wall_clock  (** Unix.gettimeofday / Unix.time / Sys.time *)
 
 type finding = {

@@ -34,6 +34,12 @@ let receive t w =
     else Pending
   end
 
+(* Mark the tracker complete regardless of the accumulated weight. Only
+   the Early_tracker_release protocol mutant calls this; it exists so the
+   checker layer can prove it would notice a tracker that stops counting
+   before Theorem 1's conservation sum closes. *)
+let force_complete t = t.complete <- true
+
 let is_complete t = t.complete
 let receipts t = t.receipts
 let accumulated t = t.acc

@@ -15,6 +15,11 @@ val receive : tracker -> Weight.t -> receipt
 
 val is_complete : tracker -> bool
 
+(** Mark the tracker complete regardless of accumulated weight. For the
+    [Early_tracker_release] protocol mutant only — never called on a
+    healthy path. *)
+val force_complete : tracker -> unit
+
 (** Number of weight receipts processed (Figure 11's tracker load). *)
 val receipts : tracker -> int
 

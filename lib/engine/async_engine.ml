@@ -24,6 +24,8 @@
    - [weight_coalescing = false]: the Fig. 10/11 ablation — every finished
      weight becomes its own message to the tracker. *)
 
+module Protocol = Pstm_analysis.Protocol
+
 type flavor =
   | Graphdance
   | Banyan_like
@@ -161,12 +163,17 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   (* Frontier batching is opt-in; everything it touches is gated on this
      flag so the unbatched path stays byte-identical. *)
   let batched = common.Engine.Common.batched in
+  let mutation = common.Engine.Common.mutation in
   let cluster = Cluster.create cluster_config in
   (* Fault plane (if any) attaches before the channel is created, so the
      channel sees it and switches to reliable delivery. *)
   let faults = Option.map Faults.create common.Engine.Common.faults in
   Cluster.set_faults cluster faults;
+  Cluster.set_mutation cluster mutation;
   let events = Cluster.events cluster in
+  (* Schedule exploration: an installed chooser permutes same-timestamp
+     ties; [None] (the default) keeps canonical insertion order. *)
+  Event_queue.set_chooser events common.Engine.Common.chooser;
   let metrics = Cluster.metrics cluster in
   let costs = Cluster.costs cluster in
   let n_workers = Cluster.n_workers cluster in
@@ -182,6 +189,76 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     match faults with
     | None -> time
     | Some f -> Faults.release f ~node:(Cluster.node_of_worker cluster w) ~at:time
+  in
+  (* Protocol conformance monitors: compiled from the declarative state
+     machines in [Pstm_analysis.Protocol] and fed from the channel's
+     protocol hook (reliable delivery), the migration path and the
+     tracker lifecycle. They exist only under [check]; otherwise every
+     hook stays [None] and the production path is untouched. *)
+  let mon_channel, mon_migration, mon_tracker =
+    if check then
+      ( Some (Protocol.monitor (Lazy.force Protocol.channel)),
+        Some (Protocol.monitor (Lazy.force Protocol.migration)),
+        Some (Protocol.monitor (Lazy.force Protocol.tracker)) )
+    else (None, None, None)
+  in
+  (match mon_channel with
+  | None -> ()
+  | Some mon ->
+    let compiled = Lazy.force Protocol.channel in
+    let m_send = Protocol.msg compiled "send" in
+    let m_retransmit = Protocol.msg compiled "retransmit" in
+    let m_deliver = Protocol.msg compiled "deliver" in
+    let m_dup = Protocol.msg compiled "dup" in
+    let m_ack = Protocol.msg compiled "ack" in
+    let m_abandon = Protocol.msg compiled "abandon" in
+    let n_nodes = Cluster.n_nodes cluster in
+    Cluster.set_protocol_hook cluster
+      (Some
+         (fun ev ->
+           let msg =
+             match ev.Cluster.pkt_ev with
+             | Cluster.Pkt_send -> m_send
+             | Cluster.Pkt_retransmit -> m_retransmit
+             | Cluster.Pkt_deliver -> m_deliver
+             | Cluster.Pkt_dup -> m_dup
+             | Cluster.Pkt_ack -> m_ack
+             | Cluster.Pkt_abandon -> m_abandon
+           in
+           (* One instance per (link, seq); per-link sequence numbers stay
+              far below 2^24 in any run we simulate. *)
+           let key =
+             (((ev.Cluster.ev_src * n_nodes) + ev.Cluster.ev_dst) lsl 24)
+             lor (ev.Cluster.ev_seq land 0xFFFFFF)
+           in
+           match Protocol.step mon ~key ~msg with
+           | None -> ()
+           | Some why ->
+             Engine.check_fail "async: link %d->%d seq %d: %s" ev.Cluster.ev_src
+               ev.Cluster.ev_dst ev.Cluster.ev_seq why)));
+  let mig_event name vertex =
+    match mon_migration with
+    | None -> ()
+    | Some mon -> begin
+      match
+        Protocol.step mon ~key:vertex ~msg:(Protocol.msg (Lazy.force Protocol.migration) name)
+      with
+      | None -> ()
+      | Some why -> Engine.check_fail "async: migration of vertex %d: %s" vertex why
+    end
+  in
+  let tracker_event name ~qid ~phase =
+    match mon_tracker with
+    | None -> ()
+    | Some mon -> begin
+      match
+        Protocol.step mon
+          ~key:((qid * 1024) + phase)
+          ~msg:(Protocol.msg (Lazy.force Protocol.tracker) name)
+      with
+      | None -> ()
+      | Some why -> Engine.check_fail "async: tracker of query %d phase %d: %s" qid phase why
+    end
   in
   (* Observability: every emission site is guarded by [obs_on] (or the
      recorder's own enabled flag), so the disabled path costs one branch. *)
@@ -383,7 +460,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       w.awake <- true;
       let time = max (Cluster.now cluster) w.busy_until in
       let time = fault_release w.id time in
-      Event_queue.schedule_at events ~time (fun () -> quantum w)
+      Event_queue.schedule_at events ~time ~tag:(Cluster.worker_tag cluster w.id) (fun () ->
+          quantum w)
     end
   (* ---- Message / task processing ------------------------------------- *)
   and deliver dst payload =
@@ -486,6 +564,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             Hashtbl.add migrated_ever vertex ();
             Partition.set_owner partition vertex new_owner;
             Hashtbl.add migrating vertex (ref []);
+            mig_event "order" vertex;
             Metrics.count_migration metrics;
             cost :=
               Sim_time.add !cost
@@ -499,6 +578,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   (* ---- Progress tracking ---------------------------------------------- *)
   and tracker_receive ~at w q phase weight =
     Metrics.count_tracker_update metrics;
+    if not (Weight.is_zero weight) then tracker_event "receive" ~qid:q.qid ~phase;
     if obs_on then begin
       let acc = Weight.add (Progress.accumulated q.trackers.(phase)) weight in
       Pstm_obs.Trace.instant trace ~cat:"progress" ~tid:(Engine.query_track q.qid)
@@ -519,8 +599,21 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       Engine.check_fail "async: query %d phase %d received weight %a after completion" q.qid
         phase Weight.pp weight;
     match Progress.receive q.trackers.(phase) weight with
-    | Progress.Complete -> Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
-    | Progress.Pending -> costs.Cluster.progress_add
+    | Progress.Complete ->
+      tracker_event "complete" ~qid:q.qid ~phase;
+      Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
+    | Progress.Pending ->
+      if
+        mutation = Some Mutation.Early_tracker_release
+        && (not (Progress.is_complete q.trackers.(phase)))
+        && Progress.receipts q.trackers.(phase) >= 2
+      then begin
+        (* Mutant: declare the phase done before Theorem 1's conservation
+           sum closes. *)
+        Progress.force_complete q.trackers.(phase);
+        Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
+      end
+      else costs.Cluster.progress_add
   and finish_weight ~at w q phase weight =
     if Weight.is_zero weight then Sim_time.zero
     else begin
@@ -560,6 +653,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     end
   (* ---- Phase transitions ----------------------------------------------- *)
   and phase_complete ~at w q phase =
+    tracker_event "release" ~qid:q.qid ~phase;
     if obs_on then
       Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"phase_complete" ~ts:at
         ~args:[ ("phase", Pstm_obs.Trace.I phase) ]
@@ -624,6 +718,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
              chase the new owner. The traverser is forwarded wholesale,
              so its progression weight is conserved bit for bit. *)
           Metrics.count_forwarded metrics;
+          mig_event "forward" v;
           if obs_on then incr inflight;
           send ~at ~src:w.id ~dst:(Partition.owner partition v) ~kind:Metrics.Traverser_msg
             (P_trav { qid; trav })
@@ -632,6 +727,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
              flight: park the traverser until P_migrate_data lands, so
              dedup / visit / join state is never consulted half-moved. *)
           Metrics.count_stashed metrics;
+          mig_event "stash" v;
           let stash = Hashtbl.find migrating v in
           stash := P_trav { qid; trav } :: !stash;
           Sim_time.zero
@@ -781,6 +877,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
          message. Any traverser for the vertex still queued behind this
          order re-routes on arrival via the forwarding path above. *)
       let entries = Memo.extract_for_key w.memo (Value.Vertex vertex) in
+      mig_event "extract" vertex;
       Metrics.count_migrated_entries metrics (List.length entries);
       Sim_time.add
         (memo_op_cost () * (1 + List.length entries))
@@ -796,14 +893,16 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           | Some q when q.active -> Memo.set w.memo ~qid ~label (Value.Vertex vertex) entry
           | Some _ | None -> ())
         entries;
+      mig_event "install" vertex;
       (match Hashtbl.find_opt migrating vertex with
       | Some stash ->
         Hashtbl.remove migrating vertex;
-        List.iter
-          (fun p ->
-            if obs_on then incr inflight;
-            Queue.add p w.tasks)
-          (List.rev !stash)
+        if mutation <> Some Mutation.Drop_stash_drain then
+          List.iter
+            (fun p ->
+              if obs_on then incr inflight;
+              Queue.add p w.tasks)
+            (List.rev !stash)
       | None -> ());
       memo_op_cost () * (1 + List.length entries)
   (* ---- Worker scheduling loop ------------------------------------------- *)
@@ -897,6 +996,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                  match stateful_key_vertex q trav with
                  | Some v when Partition.owner partition v <> w.id ->
                    Metrics.count_forwarded metrics;
+                   mig_event "forward" v;
                    if obs_on then incr inflight;
                    cost :=
                      Sim_time.add !cost
@@ -905,6 +1005,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                    false
                  | Some v when Hashtbl.mem migrating v ->
                    Metrics.count_stashed metrics;
+                   mig_event "stash" v;
                    let stash = Hashtbl.find migrating v in
                    stash := P_trav { qid; trav } :: !stash;
                    false
@@ -1077,7 +1178,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     if Sim_time.compare released quantum_start > 0 then
       (* Paused node: the whole quantum defers to the window's end.
          [awake] stays true so no duplicate quantum gets scheduled. *)
-      Event_queue.schedule_at events ~time:released (fun () -> quantum w)
+      Event_queue.schedule_at events ~time:released ~tag:(Cluster.worker_tag cluster w.id)
+        (fun () -> quantum w)
     else run_quantum w quantum_start
   and run_quantum w quantum_start =
     let local = ref quantum_start in
@@ -1122,7 +1224,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     end
     else begin
       w.awake <- true;
-      Event_queue.schedule_at events ~time:!local (fun () -> quantum w)
+      Event_queue.schedule_at events ~time:!local ~tag:(Cluster.worker_tag cluster w.id)
+        (fun () -> quantum w)
     end;
     let consumed = Sim_time.diff !local quantum_start in
     if obs_on && Sim_time.compare consumed Sim_time.zero > 0 then
@@ -1173,6 +1276,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
               ();
           active_op_count := !active_op_count + Program.n_steps program;
           n_active := !n_active + 1;
+          for phase = 0 to Program.n_phases program - 1 do
+            tracker_event "register" ~qid ~phase
+          done;
           match options.flavor with
           | Graphdance ->
             (* PSTM programs need no deployment: traversers carry their
@@ -1206,7 +1312,12 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   if deadline <> None || abandoned then
     for qid = 0 to Array.length submissions - 1 do
       let q = query qid in
-      if q.completed = None then q.active <- false;
+      if q.completed = None then begin
+        q.active <- false;
+        Array.iteri
+          (fun phase tr -> if not (Progress.is_complete tr) then tracker_event "timeout" ~qid ~phase)
+          q.trackers
+      end;
       Array.iter (fun w -> Memo.clear_query w.memo qid) workers
     done;
   (* Sanitizer post-conditions. Termination of every query only holds
@@ -1214,13 +1325,26 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
      the reliable channel makes it hold even under drop/dup/delay
      faults. Memo emptiness holds always, thanks to the reclaim above. *)
   if check then begin
-    if deadline = None && not abandoned then
+    if deadline = None && not abandoned then begin
       for qid = 0 to Array.length submissions - 1 do
         let q = query qid in
         if q.completed = None then
           Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
             qid
       done;
+      (* Every protocol-monitor instance must have reached a terminal
+         state: packets acked, migrations installed, trackers released. *)
+      List.iter
+        (fun mon ->
+          match mon with
+          | None -> ()
+          | Some mon -> begin
+            match Protocol.finish mon with
+            | None -> ()
+            | Some why -> Engine.check_fail "async: %s" why
+          end)
+        [ mon_channel; mon_migration; mon_tracker ]
+    end;
     Array.iter
       (fun w ->
         let n = Memo.live_entries w.memo in

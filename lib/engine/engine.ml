@@ -33,6 +33,11 @@ module Common = struct
     seed : int; (* placement / tie-break randomness *)
     faults : Faults.spec option; (* deterministic fault schedule *)
     batched : bool; (* frontier-batched execution (engines may ignore it) *)
+    chooser : Event_queue.chooser option;
+        (* same-timestamp tie chooser installed on the engine's event
+           queue; the schedule explorer's entry point *)
+    mutation : Mutation.t option;
+        (* seeded protocol mutant, for checker validation only *)
   }
 
   let default =
@@ -43,6 +48,8 @@ module Common = struct
       seed = 0x5157;
       faults = None;
       batched = false;
+      chooser = None;
+      mutation = None;
     }
 
   let with_obs obs t = { t with obs }
@@ -51,6 +58,8 @@ module Common = struct
   let with_seed seed t = { t with seed }
   let with_faults faults t = { t with faults }
   let with_batched batched t = { t with batched }
+  let with_chooser chooser t = { t with chooser }
+  let with_mutation mutation t = { t with mutation }
 end
 
 type query_report = {

@@ -135,19 +135,30 @@ let rec transmit t r ~at ~attempt pkt =
   Cluster.send_packet t.cluster ~at ~src_node:pkt.p_src ~dst_node:pkt.p_dst
     ~bytes:(pkt.p_bytes + seq_header_bytes)
     (fun () -> receive_data t r pkt);
-  (* Arm the ack timer: on expiry, retransmit iff still unacked. *)
+  (* Arm the ack timer: on expiry, retransmit iff still unacked. The
+     timer shares the link's dependence class — whether it fires before
+     or after a same-time ack arrival is a real protocol race. *)
   Event_queue.schedule_at events
+    ~tag:(Cluster.link_tag t.cluster ~src_node:pkt.p_src ~dst_node:pkt.p_dst)
     ~time:(Sim_time.add at (backoff r ~attempt))
     (fun () ->
       if Hashtbl.mem r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq then
-        if attempt >= r.max_retries then begin
+        if Cluster.mutation t.cluster = Some Mutation.No_retransmit then
+          (* Mutant: the timer fires but neither retransmits nor abandons,
+             so a dropped packet is simply lost. *)
+          ()
+        else if attempt >= r.max_retries then begin
           (* Permanently lost: the sender stops; affected queries
              degrade to TIMEOUT instead of wedging the simulation. *)
           Metrics.count_abandoned metrics;
+          Cluster.emit_protocol t.cluster Cluster.Pkt_abandon ~src:pkt.p_src ~dst:pkt.p_dst
+            ~seq:pkt.p_seq;
           Hashtbl.remove r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq
         end
         else begin
           Metrics.count_retransmit metrics;
+          Cluster.emit_protocol t.cluster Cluster.Pkt_retransmit ~src:pkt.p_src ~dst:pkt.p_dst
+            ~seq:pkt.p_seq;
           transmit t r ~at:(Event_queue.now events) ~attempt:(attempt + 1) pkt
         end)
 
@@ -155,6 +166,11 @@ and receive_data t r pkt =
   let metrics = Cluster.metrics t.cluster in
   let seen = r.recv_seen.(pkt.p_dst).(pkt.p_src) in
   let fresh = pkt.p_seq >= r.recv_low.(pkt.p_dst).(pkt.p_src) && not (Hashtbl.mem seen pkt.p_seq) in
+  let fresh =
+    (* Mutant: the dedup window is bypassed and every arrival — including
+       retransmits of already-delivered packets — is applied. *)
+    fresh || Cluster.mutation t.cluster = Some Mutation.Skip_dedup
+  in
   if fresh then begin
     Hashtbl.replace seen pkt.p_seq ();
     (* Advance the low watermark over the contiguous prefix, shrinking
@@ -165,16 +181,24 @@ and receive_data t r pkt =
       incr low
     done;
     r.recv_low.(pkt.p_dst).(pkt.p_src) <- !low;
+    Cluster.emit_protocol t.cluster Cluster.Pkt_deliver ~src:pkt.p_src ~dst:pkt.p_dst
+      ~seq:pkt.p_seq;
     deliver_all t pkt.p_messages
   end
-  else Metrics.count_dup_dropped metrics;
+  else begin
+    Metrics.count_dup_dropped metrics;
+    Cluster.emit_protocol t.cluster Cluster.Pkt_dup ~src:pkt.p_src ~dst:pkt.p_dst ~seq:pkt.p_seq
+  end;
   (* Always ack — including duplicates, so a lost ack cannot cause an
      endless retransmit of an already-delivered packet. *)
   Metrics.count_ack metrics;
   Cluster.send_packet t.cluster
     ~at:(Cluster.now t.cluster)
     ~src_node:pkt.p_dst ~dst_node:pkt.p_src ~bytes:ack_bytes
-    (fun () -> Hashtbl.remove r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq)
+    (fun () ->
+      Cluster.emit_protocol t.cluster Cluster.Pkt_ack ~src:pkt.p_src ~dst:pkt.p_dst
+        ~seq:pkt.p_seq;
+      Hashtbl.remove r.outstanding.(pkt.p_src).(pkt.p_dst) pkt.p_seq)
 
 let emit_packet t ~at ~src_node ~dst_node messages bytes =
   match t.reliable with
@@ -186,6 +210,7 @@ let emit_packet t ~at ~src_node ~dst_node messages bytes =
     r.next_seq.(src_node).(dst_node) <- seq + 1;
     let pkt = { p_src = src_node; p_dst = dst_node; p_seq = seq; p_messages = messages; p_bytes = bytes } in
     Hashtbl.replace r.outstanding.(src_node).(dst_node) seq pkt;
+    Cluster.emit_protocol t.cluster Cluster.Pkt_send ~src:src_node ~dst:dst_node ~seq;
     transmit t r ~at ~attempt:0 pkt
 
 (* Tier-2 entry: either open/extend an NLC window or emit immediately. *)
@@ -198,7 +223,10 @@ let to_combiner t ~at ~src_node ~dst_node messages bytes =
     if not t.window_open.(src_node).(dst_node) then begin
       t.window_open.(src_node).(dst_node) <- true;
       let fire_at = Sim_time.add (max at (Cluster.now t.cluster)) t.config.nlc_window in
-      Event_queue.schedule_at (Cluster.events t.cluster) ~time:fire_at (fun () ->
+      Event_queue.schedule_at (Cluster.events t.cluster)
+        ~tag:(Cluster.link_tag t.cluster ~src_node ~dst_node)
+        ~time:fire_at
+        (fun () ->
           t.window_open.(src_node).(dst_node) <- false;
           let batch = t.pending.(src_node).(dst_node) in
           if not (Vec.is_empty batch) then begin
@@ -234,7 +262,10 @@ let send t ~at ~src_worker ~dst_worker ~kind ~bytes payload =
   if Cluster.same_node t.cluster src_worker dst_worker then begin
     (* Shared-memory shortcut: no NIC, no batching. *)
     Metrics.count_message metrics kind bytes;
-    Cluster.send_local t.cluster ~at (fun () -> t.deliver dst_worker payload);
+    Cluster.send_local t.cluster
+      ~tag:(Cluster.worker_tag t.cluster dst_worker)
+      ~at
+      (fun () -> t.deliver dst_worker payload);
     (costs t).Cluster.buffer_append
   end
   else begin

@@ -57,6 +57,21 @@ type packet_info = {
   arrival : Sim_time.t;
 }
 
+type pkt_event =
+  | Pkt_send
+  | Pkt_retransmit
+  | Pkt_deliver
+  | Pkt_dup
+  | Pkt_ack
+  | Pkt_abandon
+
+type protocol_event = {
+  pkt_ev : pkt_event;
+  ev_src : int;
+  ev_dst : int;
+  ev_seq : int;
+}
+
 type t = {
   config : config;
   events : Event_queue.t;
@@ -65,9 +80,15 @@ type t = {
   mutable on_packet : (packet_info -> unit) option;
       (* observability hook; the sim layer cannot depend on lib/obs, so
          tracing subscribes through this plain callback *)
+  mutable on_protocol : (protocol_event -> unit) option;
+      (* conformance hook; the analysis layer's compiled monitors
+         subscribe here under ~check:true, [None] costs nothing *)
   mutable faults : Faults.t option;
       (* fault-injection plane; [None] (the default) is the perfect
          network and leaves every code path untouched *)
+  mutable mutation : Mutation.t option;
+      (* seeded protocol mutant; [None] (always, outside checker
+         validation) leaves every protocol intact *)
 }
 
 let create config =
@@ -79,12 +100,31 @@ let create config =
     metrics = Metrics.create ();
     nic_busy = Array.make config.n_nodes Sim_time.zero;
     on_packet = None;
+    on_protocol = None;
     faults = None;
+    mutation = None;
   }
 
 let set_packet_hook t hook = t.on_packet <- hook
+let set_protocol_hook t hook = t.on_protocol <- hook
 let set_faults t faults = t.faults <- faults
 let faults t = t.faults
+let set_mutation t m = t.mutation <- m
+let mutation t = t.mutation
+
+let emit_protocol t ev ~src ~dst ~seq =
+  match t.on_protocol with
+  | None -> ()
+  | Some hook -> hook { pkt_ev = ev; ev_src = src; ev_dst = dst; ev_seq = seq }
+
+(* Dependence tags for the schedule explorer: events that touch the same
+   (directed link | node | worker) commute with nothing in their class and
+   with everything outside it, so tags partition same-timestamp ties into
+   meaningful reorderings. Tag 0 is "untagged" (never reordered against
+   its own class). The ranges are disjoint by construction. *)
+let link_tag t ~src_node ~dst_node = 1 + (src_node * t.config.n_nodes) + dst_node
+let node_tag t node = 1 + (t.config.n_nodes * t.config.n_nodes) + node
+let worker_tag t w = 1 + (t.config.n_nodes * (t.config.n_nodes + 1)) + w
 
 let config t = t.config
 let events t = t.events
@@ -114,8 +154,9 @@ let send_packet t ~at ~src_node ~dst_node ~bytes arrive =
   (match t.on_packet with
   | None -> ()
   | Some hook -> hook { src_node; dst_node; bytes; nic_start = start; arrival });
+  let tag = link_tag t ~src_node ~dst_node in
   match t.faults with
-  | None -> Event_queue.schedule_at t.events ~time:arrival arrive
+  | None -> Event_queue.schedule_at ~tag t.events ~time:arrival arrive
   | Some f ->
     (* The sender always pays NIC serialization (the loss is on the
        wire); what varies is whether — and when — the receiver side runs.
@@ -131,20 +172,20 @@ let send_packet t ~at ~src_node ~dst_node ~bytes arrive =
         else arrival
       in
       let arrival = Faults.release f ~node:dst_node ~at:arrival in
-      Event_queue.schedule_at t.events ~time:arrival arrive;
+      Event_queue.schedule_at ~tag t.events ~time:arrival arrive;
       if verdict.Faults.duplicated then begin
         Metrics.count_fault_dup t.metrics;
         (* The ghost copy trails by one wire latency; receivers dedup by
            sequence number, so it only costs a discarded arrival. *)
-        Event_queue.schedule_at t.events
+        Event_queue.schedule_at ~tag t.events
           ~time:(Sim_time.add arrival t.config.net.Netmodel.wire_latency)
           arrive
       end
     end
 
 (* Same-node shared-memory handoff (the §IV-B shortcut). *)
-let send_local t ~at arrive =
+let send_local ?tag t ~at arrive =
   let at = max at (now t) in
   Metrics.count_local_message t.metrics;
   let arrival = Sim_time.add at t.config.net.Netmodel.shm_latency in
-  Event_queue.schedule_at t.events ~time:arrival arrive
+  Event_queue.schedule_at ?tag t.events ~time:arrival arrive

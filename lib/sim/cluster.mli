@@ -36,6 +36,24 @@ type packet_info = {
   arrival : Sim_time.t;
 }
 
+(** One step of the reliable-channel protocol, as observed on a directed
+    link. Emitted through {!set_protocol_hook} by {!Channel} whenever the
+    fault plane (and hence sequence-numbered delivery) is active. *)
+type pkt_event =
+  | Pkt_send  (** sequence number assigned, first transmission *)
+  | Pkt_retransmit  (** ack timeout expired, packet sent again *)
+  | Pkt_deliver  (** receiver accepted the packet as fresh *)
+  | Pkt_dup  (** receiver discarded a duplicate *)
+  | Pkt_ack  (** ack arrived back at the sender *)
+  | Pkt_abandon  (** retry budget exhausted, sender gave up *)
+
+type protocol_event = {
+  pkt_ev : pkt_event;
+  ev_src : int;  (** source node of the data packet *)
+  ev_dst : int;  (** destination node of the data packet *)
+  ev_seq : int;  (** per-link sequence number *)
+}
+
 type t
 
 val create : config -> t
@@ -43,6 +61,28 @@ val create : config -> t
 (** Observability hook invoked for every cross-node packet as it is
     scheduled; [None] (the default) disables it. *)
 val set_packet_hook : t -> (packet_info -> unit) option -> unit
+
+(** Conformance hook: the analysis layer's compiled protocol monitors
+    subscribe here under [~check:true]; [None] (the default) costs
+    nothing. *)
+val set_protocol_hook : t -> (protocol_event -> unit) option -> unit
+
+(** Invoke the protocol hook, if any. Used by {!Channel}. *)
+val emit_protocol : t -> pkt_event -> src:int -> dst:int -> seq:int -> unit
+
+(** Install a seeded protocol mutant ([None] = intact protocols). Only
+    checker-validation paths ever set this. *)
+val set_mutation : t -> Mutation.t option -> unit
+
+val mutation : t -> Mutation.t option
+
+(** Dependence tags for {!Event_queue} choosers. Each directed link, each
+    node and each worker gets its own class; the ranges are disjoint and
+    never 0 (the untagged class). *)
+val link_tag : t -> src_node:int -> dst_node:int -> int
+
+val node_tag : t -> int -> int
+val worker_tag : t -> int -> int
 
 (** Attach a fault-injection plane; [None] (the default) is the perfect
     network and leaves every code path byte-identical to a fault-free
@@ -69,5 +109,6 @@ val workers_of_node : t -> int -> int array
 val send_packet :
   t -> at:Sim_time.t -> src_node:int -> dst_node:int -> bytes:int -> (unit -> unit) -> unit
 
-(** Same-node shared-memory handoff. *)
-val send_local : t -> at:Sim_time.t -> (unit -> unit) -> unit
+(** Same-node shared-memory handoff. [tag] labels the arrival's
+    dependence class for choosers. *)
+val send_local : ?tag:int -> t -> at:Sim_time.t -> (unit -> unit) -> unit

@@ -1,6 +1,25 @@
-(** Deterministic discrete-event scheduler. *)
+(** Deterministic discrete-event scheduler.
+
+    The tie-break key for events scheduled at the same simulated time is
+    the insertion sequence number — an explicit, monotonically increasing
+    counter assigned by [schedule_at] — never implicit heap order. Equal
+    times therefore fire in schedule order, and the whole simulation is a
+    pure function of the schedule calls. *)
 
 type t
+
+(** One schedulable alternative at a tied timestamp, identified by its
+    insertion sequence number and the scheduler-supplied dependence tag. *)
+type choice = {
+  c_seq : int;  (** insertion sequence — the deterministic tie-break key *)
+  c_tag : int;  (** dependence class (link / worker / query); 0 = untagged *)
+}
+
+(** A chooser picks which of the tied entries fires first, by index into
+    the array. Out-of-range picks fall back to index 0 (the default
+    schedule order). The array always has at least two elements and is in
+    ascending [c_seq] order. *)
+type chooser = choice array -> int
 
 val create : unit -> t
 
@@ -13,11 +32,22 @@ val executed : t -> int
 (** Number of events still scheduled. *)
 val pending : t -> int
 
-(** Schedule a closure; raises if [time] is before [now]. Events at equal
-    times fire in schedule order. *)
-val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> unit
+(** The sequence number the next scheduled event will receive. *)
+val next_seq : t -> int
 
-val schedule_after : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+(** Install (or remove) a same-timestamp tie chooser. With [None] (the
+    default) ties fire in insertion order; the explorer installs a chooser
+    to permute commuting deliveries. Entries not picked are pushed back
+    with their sequence numbers intact, so a chooser that always returns 0
+    reproduces the default schedule exactly. *)
+val set_chooser : t -> chooser option -> unit
+
+(** Schedule a closure; raises if [time] is before [now]. Events at equal
+    times fire in schedule order. [tag] labels the event's dependence
+    class for choosers; it does not affect default ordering. *)
+val schedule_at : ?tag:int -> t -> time:Sim_time.t -> (unit -> unit) -> unit
+
+val schedule_after : ?tag:int -> t -> delay:Sim_time.t -> (unit -> unit) -> unit
 
 (** Execute the next event; [false] when the queue is empty. *)
 val step : t -> bool

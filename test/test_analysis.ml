@@ -243,6 +243,29 @@ let test_lint_detects () =
   | [ f ] -> Alcotest.(check int) "line" 3 f.Source_lint.line
   | fs -> Alcotest.fail (Fmt.str "expected 1 finding, got %d" (List.length fs))
 
+let test_lint_float_compare () =
+  (match hazards "let c = compare (x : float) y\n" with
+  | [ Source_lint.Float_compare ] -> ()
+  | _ -> Alcotest.fail "expected float-compare");
+  (* Bare [compare] near floats is flagged even without a sort needle;
+     the sort needle stacks a second finding when both apply. *)
+  (match hazards "let xs = List.sort compare float_scores\n" with
+  | [ Source_lint.Polymorphic_compare; Source_lint.Float_compare ]
+  | [ Source_lint.Float_compare; Source_lint.Polymorphic_compare ] -> ()
+  | _ -> Alcotest.fail "expected polymorphic-compare + float-compare");
+  (* Module-qualified compares and non-float lines are fine. *)
+  Alcotest.(check int) "Float.compare is the fix, not a hazard" 0
+    (List.length (findings "let c = Float.compare x y\n"));
+  Alcotest.(check int) "bare compare without floats is not this class" 0
+    (List.length (findings "let c = compare a b\n"));
+  Alcotest.(check int) "identifier containing 'compare' untouched" 0
+    (List.length (findings "let c = my_compare_floats x y\n"))
+
+let test_lint_self_init () =
+  match hazards "let () = Random.self_init ()\n" with
+  | [ Source_lint.Raw_random ] -> ()
+  | _ -> Alcotest.fail "expected raw-random for self_init"
+
 let test_lint_allowlist () =
   Alcotest.(check int) "same-line marker suppresses" 0
     (List.length (findings "Hashtbl.iter f t (* det-ok: commutative sum *)\n"));
@@ -285,6 +308,8 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "detects hazard classes" `Quick test_lint_detects;
+          Alcotest.test_case "float-bearing compare" `Quick test_lint_float_compare;
+          Alcotest.test_case "random self_init" `Quick test_lint_self_init;
           Alcotest.test_case "det-ok allowlist" `Quick test_lint_allowlist;
           Alcotest.test_case "comments and strings" `Quick test_lint_ignores_comments_and_strings;
           Alcotest.test_case "empty source" `Quick test_lint_repo_tree_shape;

@@ -1,0 +1,301 @@
+(* Protocol conformance + schedule exploration:
+
+   - the shipped protocol specs pass the static totality checker, and the
+     checker actually rejects broken specs (missing handler, unreachable
+     state, terminal escape, phantom emit);
+   - compiled monitors accept legal traces and reject illegal ones with
+     the spec's own explanation;
+   - replay tokens round-trip through their printable form;
+   - the explorer is deterministic and finds nothing on the unmutated
+     engine across every scenario;
+   - each seeded protocol mutant is caught within the default budget, and
+     its shrunk counterexample token replays to the same failure;
+   - the pinned interleaving corpus stays conformant and oracle-equal. *)
+
+module Protocol = Pstm_analysis.Protocol
+module Explore = Pstm_analysis.Explore
+open Pstm_mc
+
+(* --- Static spec checking --- *)
+
+let test_shipped_specs_total () =
+  List.iter
+    (fun (s : Protocol.spec) ->
+      match Protocol.check_spec s with
+      | [] -> ()
+      | defects ->
+        Alcotest.failf "spec %s has defects: %a" s.Protocol.sp_name
+          (Fmt.list ~sep:(Fmt.any "; ") Protocol.pp_defect)
+          defects)
+    Protocol.all_specs
+
+let base_spec =
+  {
+    Protocol.sp_name = "toy";
+    states = [ "a"; "b" ];
+    msgs = [ "go"; "stop" ];
+    initial = "a";
+    terminals = [ "b" ];
+    trans = [ ("a", "go", "b") ];
+    rejects = [ ("a", "stop", "stop before go"); ("b", "go", "go twice"); ("b", "stop", "late") ];
+    emits = [ ("a", "go") ];
+  }
+
+let defect_count s = List.length (Protocol.check_spec s)
+
+let test_checker_rejects_broken_specs () =
+  Alcotest.(check int) "base spec is clean" 0 (defect_count base_spec);
+  (* Missing handler: (a, stop) neither handled nor rejected. *)
+  Alcotest.(check bool) "missing handler flagged" true
+    (defect_count { base_spec with Protocol.rejects = [ ("b", "go", "x"); ("b", "stop", "x") ] }
+    > 0);
+  (* Unreachable state. *)
+  Alcotest.(check bool) "unreachable state flagged" true
+    (defect_count
+       {
+         base_spec with
+         Protocol.states = [ "a"; "b"; "limbo" ];
+         rejects = base_spec.Protocol.rejects @ [ ("limbo", "go", "x"); ("limbo", "stop", "x") ];
+       }
+    > 0);
+  (* Terminal escape: a transition from the terminal back to a
+     non-terminal state. *)
+  Alcotest.(check bool) "terminal escape flagged" true
+    (defect_count
+       {
+         base_spec with
+         Protocol.trans = [ ("a", "go", "b"); ("b", "go", "a") ];
+         rejects = [ ("a", "stop", "x"); ("b", "stop", "x") ];
+       }
+    > 0);
+  (* Emit with no matching transition, and emit from a terminal. *)
+  Alcotest.(check bool) "phantom emit flagged" true
+    (defect_count { base_spec with Protocol.emits = [ ("a", "stop") ] } > 0);
+  Alcotest.(check bool) "terminal emit flagged" true
+    (defect_count
+       {
+         base_spec with
+         Protocol.trans = [ ("a", "go", "b"); ("b", "stop", "b") ];
+         rejects = [ ("a", "stop", "x"); ("b", "go", "x") ];
+         emits = [ ("a", "go"); ("b", "stop") ];
+       }
+    > 0);
+  (* Nondeterminism: (a, go) resolved twice. *)
+  Alcotest.(check bool) "double handling flagged" true
+    (defect_count
+       { base_spec with Protocol.rejects = base_spec.Protocol.rejects @ [ ("a", "go", "x") ] }
+    > 0)
+
+(* --- Compiled monitors --- *)
+
+let has_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1)) in
+  at 0
+
+let test_monitor_accepts_legal_channel_trace () =
+  let c = Lazy.force Protocol.channel in
+  let mon = Protocol.monitor c in
+  let step key m = Protocol.step mon ~key ~msg:(Protocol.msg c m) in
+  (* Happy path on one instance, retransmit-race on another. *)
+  List.iter
+    (fun (key, m) ->
+      match step key m with
+      | None -> ()
+      | Some why -> Alcotest.failf "legal trace rejected at (%d, %s): %s" key m why)
+    [
+      (1, "send"); (1, "deliver"); (1, "ack");
+      (2, "send"); (2, "retransmit"); (2, "deliver"); (2, "dup"); (2, "ack"); (2, "ack");
+    ];
+  Alcotest.(check int) "two instances touched" 2 (Protocol.instances mon);
+  Alcotest.(check (option string)) "all terminal" None (Protocol.finish mon)
+
+let test_monitor_rejects_double_delivery () =
+  let c = Lazy.force Protocol.channel in
+  let mon = Protocol.monitor c in
+  let step m = Protocol.step mon ~key:7 ~msg:(Protocol.msg c m) in
+  Alcotest.(check (option string)) "send ok" None (step "send");
+  Alcotest.(check (option string)) "deliver ok" None (step "deliver");
+  match step "deliver" with
+  | Some why ->
+    Alcotest.(check bool) "explains the dedup bypass" true
+      (has_substring ~sub:"dedup" why)
+  | None -> Alcotest.fail "second delivery of one seq accepted"
+
+let test_monitor_finish_flags_stuck_instance () =
+  let c = Lazy.force Protocol.channel in
+  let mon = Protocol.monitor c in
+  ignore (Protocol.step mon ~key:3 ~msg:(Protocol.msg c "send"));
+  match Protocol.finish mon with
+  | Some why -> Alcotest.(check bool) "names the state" true (has_substring ~sub:"inflight" why)
+  | None -> Alcotest.fail "stuck in-flight packet not flagged"
+
+let test_tracker_monitor_rejects_early_release () =
+  let c = Lazy.force Protocol.tracker in
+  let mon = Protocol.monitor c in
+  let step m = Protocol.step mon ~key:0 ~msg:(Protocol.msg c m) in
+  Alcotest.(check (option string)) "register ok" None (step "register");
+  Alcotest.(check (option string)) "receive ok" None (step "receive");
+  match step "release" with
+  | Some why ->
+    Alcotest.(check bool) "cites conservation" true
+      (has_substring ~sub:"conservation" why)
+  | None -> Alcotest.fail "release before completion accepted"
+
+(* --- Replay tokens --- *)
+
+let test_token_round_trip () =
+  List.iter
+    (fun s ->
+      match Explore.token_of_string s with
+      | Error e -> Alcotest.failf "%S failed to parse: %s" s e
+      | Ok t -> Alcotest.(check string) ("round trip " ^ s) s (Explore.token_to_string t))
+    [ "default"; "12=1"; "3=2,40=1"; "0=1,1=1,2=3" ];
+  List.iter
+    (fun s ->
+      match Explore.token_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" s)
+    [ "12"; "a=b"; "3=1,3=2"; "-1=2"; "4=-1" ]
+
+(* --- Explorer on the unmutated engine --- *)
+
+let small_budget = 24
+
+let test_unmutated_scenarios_clean () =
+  List.iter
+    (fun s ->
+      let report =
+        Explore.explore ~budget:small_budget ~random_walks:6 ~run:(Mc.runner s) ()
+      in
+      (match report.Explore.counterexample with
+      | None -> ()
+      | Some cx ->
+        Alcotest.failf "scenario %s: spurious counterexample %s (%s)" (Mc.name s)
+          (Explore.token_to_string cx.Explore.cx_token)
+          cx.Explore.cx_detail);
+      Alcotest.(check bool)
+        (Mc.name s ^ " explored several schedules")
+        true
+        (report.Explore.schedules > 1))
+    Mc.scenarios
+
+let test_explorer_deterministic () =
+  let s = Mc.default in
+  let go () = Explore.explore ~budget:small_budget ~random_walks:6 ~run:(Mc.runner s) () in
+  Alcotest.(check bool) "identical reports" true (go () = go ())
+
+let test_choice_points_observed () =
+  let report = Explore.explore ~budget:8 ~random_walks:2 ~run:(Mc.runner Mc.default) () in
+  Alcotest.(check bool) "ties exist" true (report.Explore.choice_points > 0);
+  Alcotest.(check bool) "dependence classes tracked" true (report.Explore.max_classes >= 1)
+
+(* --- Mutant detection --- *)
+
+let test_mutants_caught_and_replayable () =
+  List.iter
+    (fun m ->
+      let s = Mc.for_mutation m in
+      let run = Mc.runner ~mutation:m s in
+      let report = Explore.explore ~budget:64 ~random_walks:16 ~run () in
+      match report.Explore.counterexample with
+      | None ->
+        Alcotest.failf "mutant %s escaped the explorer (scenario %s, %d schedules)"
+          (Mutation.name m) (Mc.name s) report.Explore.schedules
+      | Some cx ->
+        (* The shrunk token must replay to a failure, twice (deterministic). *)
+        let replay () = Explore.replay ~run cx.Explore.cx_token in
+        let a = replay () and b = replay () in
+        Alcotest.(check bool)
+          (Mutation.name m ^ " replay still fails")
+          true
+          (a.Explore.violation <> None);
+        Alcotest.(check bool) (Mutation.name m ^ " replay deterministic") true (a = b);
+        (* And the unmutated engine passes the very same schedule. *)
+        let clean = Explore.replay ~run:(Mc.runner s) cx.Explore.cx_token in
+        (match clean.Explore.violation with
+        | None -> ()
+        | Some why ->
+          Alcotest.failf "unmutated engine fails mutant %s's schedule: %s" (Mutation.name m)
+            why))
+    Mutation.all
+
+(* --- Pinned interleaving corpus --- *)
+
+let corpus () =
+  (* dune runtest copies the dep next to the binary; dune exec runs from
+     the workspace root. *)
+  let path = if Sys.file_exists "mc_corpus.txt" then "mc_corpus.txt" else "test/mc_corpus.txt" in
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if String.equal line "" || line.[0] = '#' then go acc else go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let test_corpus_replays_conformant () =
+  let lines = corpus () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length lines > 0);
+  List.iter
+    (fun s ->
+      let run = Mc.runner s in
+      let reference = Explore.replay ~run [] in
+      Alcotest.(check (option string))
+        (Mc.name s ^ " default schedule clean")
+        None reference.Explore.violation;
+      List.iter
+        (fun line ->
+          match Explore.token_of_string line with
+          | Error e -> Alcotest.failf "corpus token %S: %s" line e
+          | Ok token ->
+            let outcome = Explore.replay ~run token in
+            (match outcome.Explore.violation with
+            | None -> ()
+            | Some why -> Alcotest.failf "%s under token %s: %s" (Mc.name s) line why);
+            Alcotest.(check string)
+              (Fmt.str "%s under token %s oracle-equal" (Mc.name s) line)
+              reference.Explore.fingerprint outcome.Explore.fingerprint)
+        lines)
+    [ Mc.default; (match Mc.find "chaos" with Some s -> s | None -> Mc.default) ]
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "shipped specs are total" `Quick test_shipped_specs_total;
+          Alcotest.test_case "checker rejects broken specs" `Quick
+            test_checker_rejects_broken_specs;
+        ] );
+      ( "monitors",
+        [
+          Alcotest.test_case "legal channel trace accepted" `Quick
+            test_monitor_accepts_legal_channel_trace;
+          Alcotest.test_case "double delivery rejected" `Quick test_monitor_rejects_double_delivery;
+          Alcotest.test_case "finish flags stuck instance" `Quick
+            test_monitor_finish_flags_stuck_instance;
+          Alcotest.test_case "early release rejected" `Quick
+            test_tracker_monitor_rejects_early_release;
+        ] );
+      ( "tokens",
+        [ Alcotest.test_case "round trip" `Quick test_token_round_trip ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "unmutated scenarios clean" `Quick test_unmutated_scenarios_clean;
+          Alcotest.test_case "deterministic" `Quick test_explorer_deterministic;
+          Alcotest.test_case "choice points observed" `Quick test_choice_points_observed;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "all caught and replayable" `Quick
+            test_mutants_caught_and_replayable;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "pinned interleavings conformant" `Quick
+            test_corpus_replays_conformant ] );
+    ]

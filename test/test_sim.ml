@@ -33,6 +33,44 @@ let test_event_tie_break_fifo () =
   Event_queue.run_to_completion q;
   Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
 
+let test_event_chooser_permutes_ties () =
+  (* A chooser sees each same-timestamp batch as (insertion seq, tag)
+     choices and picks which entry fires first; unpicked entries keep
+     their seqs, so the remaining order stays stable. *)
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let seen = ref [] in
+  for i = 1 to 4 do
+    Event_queue.schedule_at q ~time:7 ~tag:i (fun () -> log := i :: !log)
+  done;
+  Event_queue.set_chooser q
+    (Some
+       (fun choices ->
+         seen := Array.to_list (Array.map (fun c -> c.Event_queue.c_tag) choices) :: !seen;
+         Array.length choices - 1));
+  Event_queue.run_to_completion q;
+  Alcotest.(check (list int)) "always picks the youngest tied entry" [ 4; 3; 2; 1 ]
+    (List.rev !log);
+  (match List.rev !seen with
+  | [ 1; 2; 3; 4 ] :: _ -> ()
+  | _ -> Alcotest.fail "first batch should expose all four tags in insertion order");
+  (* Out-of-range picks clamp to the default order. *)
+  let q = Event_queue.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Event_queue.schedule_at q ~time:7 (fun () -> log := i :: !log)
+  done;
+  Event_queue.set_chooser q (Some (fun _ -> 99));
+  Event_queue.run_to_completion q;
+  Alcotest.(check (list int)) "clamped to fifo" [ 1; 2; 3 ] (List.rev !log)
+
+let test_event_seq_monotonic () =
+  let q = Event_queue.create () in
+  let a = Event_queue.next_seq q in
+  Event_queue.schedule_at q ~time:1 ignore;
+  let b = Event_queue.next_seq q in
+  Alcotest.(check bool) "insertion seq advances" true (b > a)
+
 let test_event_cascade () =
   let q = Event_queue.create () in
   let count = ref 0 in
@@ -292,6 +330,8 @@ let () =
         [
           Alcotest.test_case "order" `Quick test_event_order;
           Alcotest.test_case "fifo ties" `Quick test_event_tie_break_fifo;
+          Alcotest.test_case "chooser permutes ties" `Quick test_event_chooser_permutes_ties;
+          Alcotest.test_case "insertion seq" `Quick test_event_seq_monotonic;
           Alcotest.test_case "cascade" `Quick test_event_cascade;
           Alcotest.test_case "past rejected" `Quick test_event_past_rejected;
           Alcotest.test_case "run_until" `Quick test_event_run_until;
