@@ -1,0 +1,120 @@
+(* EXPLAIN LATENCY at scale: causal tracing of the Figure-1 k-hop query
+   as the cluster grows 1 -> 8 -> 32 nodes, reporting where each
+   configuration's critical path actually went — compute, queue-wait,
+   network, retransmit-recovery, barrier or tracker-coordination. The
+   per-category segments are exact: they partition the end-to-end
+   latency, and both entry points assert the equality. *)
+
+open Pstm_engine
+open Harness
+module Causal = Pstm_obs.Causal
+
+let category_headers = List.map Causal.category_name Causal.categories
+
+(* Run one configuration with causal tracing on and return the report
+   plus the (asserted-exact) attribution of query 0. *)
+let attributed ~run graph ~hops ~start =
+  let obs = Pstm_obs.Recorder.create ~causal:true () in
+  let report =
+    khop_report ~run:(run ~common:(Engine.Common.with_obs obs Engine.Common.default)) graph
+      ~hops ~start
+  in
+  let causal = Pstm_obs.Recorder.causal obs in
+  (report, causal, Causal.attribution causal ~qid:0)
+
+let check_exact ~label report attr =
+  let total = Causal.attribution_total attr in
+  match Engine.latency report.Engine.queries.(0) with
+  | Some l when Sim_time.compare l total = 0 -> ()
+  | Some l ->
+    failwith
+      (Printf.sprintf "%s: critical-path segments sum to %dns but latency is %dns" label
+         (Sim_time.to_ns total) (Sim_time.to_ns l))
+  | None -> failwith (label ^ ": query did not complete")
+
+let dominant_cell attr =
+  let cat, t = Causal.dominant attr in
+  let total = Causal.attribution_total attr in
+  Printf.sprintf "%s (%.0f%%)" (Causal.category_name cat)
+    (100.0 *. Sim_time.to_s t /. Float.max (Sim_time.to_s total) 1e-12)
+
+let run () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.lj_like in
+  let start = (khop_starts graph ~seed:7 ~n:1).(0) in
+  let rows =
+    List.map
+      (fun nodes ->
+        let label = Printf.sprintf "critpath@%d" nodes in
+        let report, causal, attr =
+          attributed
+            ~run:(fun ~common graph subs ->
+              run_graphdance ~common ~config:(cluster ~nodes ~workers:8) graph subs)
+            graph ~hops:3 ~start
+        in
+        let attr =
+          match attr with
+          | Some a -> a
+          | None -> failwith (label ^ ": no complete causal path")
+        in
+        check_exact ~label report attr;
+        if nodes = 8 then record_report ~label report;
+        record_json
+          (J.Obj
+             [
+               ("kind", J.Str "critpath");
+               ("nodes", J.Int nodes);
+               ("causal", Causal.query_json causal ~qid:0);
+             ]);
+        (string_of_int nodes :: ms (Engine.latency_ms report.Engine.queries.(0))
+        :: List.map (fun (_, t) -> ms (Sim_time.to_ms t)) attr)
+        @ [ dominant_cell attr ])
+      [ 1; 8; 32 ]
+  in
+  print_table
+    ~title:
+      "EXPLAIN LATENCY: 3-hop critical-path attribution (lj-like, 8 workers/node; \
+       categories in ms, exact partition of latency)"
+    ~headers:(("nodes" :: "latency (ms)" :: category_headers) @ [ "dominant" ])
+    rows
+
+(* The @critpath-smoke alias: causal tracing across every registry
+   engine on tiny. The async family must yield a complete causal DAG
+   whose critical-path segments sum to the latency exactly; engines
+   that don't thread contexts (BSP profiles, the oracle) must simply
+   leave the DAG empty rather than corrupt it. *)
+let smoke () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let config = cluster ~nodes:2 ~workers:4 in
+  let registry = Registry.make ~cluster_config:config () in
+  let start = (khop_starts graph ~seed:11 ~n:1).(0) in
+  let program = khop_program graph ~start ~hops:2 in
+  let async_family = [ "graphdance"; "banyan-like"; "gaia-like"; "single-node" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let (module E : Engine.S) = Registry.find_exn ~registry name in
+        let obs = Pstm_obs.Recorder.create ~causal:true () in
+        let common = Engine.Common.with_obs obs Engine.Common.default in
+        let report = E.run ~common ~graph [| Engine.submit program |] in
+        let causal = Pstm_obs.Recorder.causal obs in
+        match Causal.attribution causal ~qid:0 with
+        | Some attr ->
+          check_exact ~label:name report attr;
+          if name = "graphdance" then record_report ~label:"critpath-smoke" report;
+          [
+            name;
+            ms (Engine.latency_ms report.Engine.queries.(0));
+            string_of_int (List.length (Option.get (Causal.critical_path causal ~qid:0)));
+            dominant_cell attr;
+          ]
+        | None ->
+          if List.mem name async_family then
+            failwith (name ^ ": async-family engine produced no complete causal path");
+          if Causal.n_nodes causal > 0 then
+            failwith (name ^ ": partial causal DAG without a complete path");
+          [ name; ms (Engine.latency_ms report.Engine.queries.(0)); "-"; "no causal data" ])
+      (Registry.names ~registry ())
+  in
+  print_table ~title:"Critpath smoke: 2-hop on tiny across every registry engine"
+    ~headers:[ "engine"; "latency (ms)"; "path segments"; "dominant" ]
+    rows

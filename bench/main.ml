@@ -5,7 +5,7 @@
    order; with an argument, runs one experiment:
 
      table1 table2 fig7 fig8 fig8l fig8sn fig9 fig10 fig11 fig12 fig13
-     plan partition repartition khop micro
+     plan partition repartition khop critpath micro
 
    All latencies are simulated milliseconds on the 8-node cluster model;
    see DESIGN.md for the hardware substitution rationale and
@@ -34,6 +34,12 @@ let experiments =
       "Smoke: cold adaptive repartitioning with the sanitizer on",
       Bench_repartition.smoke );
     ("khop", "k-hop throughput: frontier batching and the plan cache", Bench_khop.run);
+    ( "critpath",
+      "EXPLAIN LATENCY: critical-path attribution at 1/8/32 nodes",
+      Bench_critpath.run );
+    ( "critpath-smoke",
+      "Smoke: causal tracing + exact attribution across every registry engine",
+      Bench_critpath.smoke );
     ( "batch-smoke",
       "Smoke: batched execution + plan-cache hit with the sanitizer on",
       Bench_khop.smoke );
@@ -88,7 +94,7 @@ let () =
       (fun (n, _, _) ->
         if
           n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke"
-          && n <> "mc-smoke"
+          && n <> "mc-smoke" && n <> "critpath-smoke"
         then
           run_one n)
       experiments

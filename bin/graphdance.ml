@@ -5,6 +5,7 @@
      query    -d DS -q "..."  run a Gremlin query on a dataset
      explain  -d DS -q "..."  show the optimized plan without running it
      trace    -d DS -q "..."  run with tracing: operator stats + Chrome trace
+     why      -d DS -q "..."  run with causal tracing: EXPLAIN LATENCY attribution
      chaos    -d DS -q "..."  run under injected faults, checked against the oracle
      mc       [-m MUTANT]     explore event interleavings; conformance + mutant catching
      repartition -d DS -q ... profile a workload, refine the owner table, compare
@@ -271,6 +272,93 @@ let trace_cmd =
     Term.(
       const run $ dataset_arg $ query_arg $ trace_engine_arg $ nodes_arg $ workers_arg
       $ trace_out_arg)
+
+let why_cmd =
+  let json_arg =
+    let doc = "Also write the full causal attribution JSON here." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let segments_arg =
+    let doc = "Show the N longest critical-path segments." in
+    Arg.(value & opt int 10 & info [ "segments" ] ~docv:"N" ~doc)
+  in
+  let slow_arg =
+    let doc = "Inject a straggler node as NODE:FACTOR (e.g. 0:8.0); repeatable." in
+    Arg.(value & opt_all string [] & info [ "slow" ] ~docv:"NODE:FACTOR" ~doc)
+  in
+  let run dataset text nodes workers batched slow json segments =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* graph = load_graph dataset in
+       let* program = compile_query graph text in
+       let parse_slow s =
+         match String.split_on_char ':' s with
+         | [ node; factor ] -> begin
+           match (int_of_string_opt node, float_of_string_opt factor) with
+           | Some n, Some f -> Ok (n, f)
+           | _ -> Error (Fmt.str "bad --slow %S (expected NODE:FACTOR)" s)
+         end
+         | _ -> Error (Fmt.str "bad --slow %S (expected NODE:FACTOR)" s)
+       in
+       let rec parse_all = function
+         | [] -> Ok []
+         | x :: rest ->
+           Result.bind (parse_slow x) (fun v ->
+               Result.map (fun vs -> v :: vs) (parse_all rest))
+       in
+       let* slow_nodes = parse_all slow in
+       let config =
+         { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+       in
+       let obs = Pstm_obs.Recorder.create ~causal:true () in
+       let faults =
+         if slow_nodes = [] then None else Some { Faults.none with Faults.slow_nodes }
+       in
+       let common =
+         { Engine.Common.default with Engine.Common.obs; batched; faults }
+       in
+       let report =
+         Async_engine.run ~common ~cluster_config:config
+           ~channel_config:Channel.default_config ~graph
+           [| Engine.submit program |]
+       in
+       let q = report.Engine.queries.(0) in
+       Fmt.pr "%a@." Engine.pp_query q;
+       let causal = Pstm_obs.Recorder.causal obs in
+       match Pstm_obs.Causal.critical_path causal ~qid:0 with
+       | None -> Error "no complete causal path (query timed out or DAG truncated)"
+       | Some path ->
+         Fmt.pr "%a@." (fun ppf () -> Pstm_obs.Causal.pp_explain ppf causal ~qid:0) ();
+         let longest =
+           List.sort
+             (fun a b -> compare (Pstm_obs.Causal.seg_dur b) (Pstm_obs.Causal.seg_dur a))
+             path
+         in
+         let top = List.filteri (fun i _ -> i < segments) longest in
+         Fmt.pr "longest segments (of %d on the critical path):@." (List.length path);
+         List.iter
+           (fun (s : Pstm_obs.Causal.seg) ->
+             Fmt.pr "  %-22s %-14s -> %-14s %a@."
+               (Pstm_obs.Causal.category_name s.Pstm_obs.Causal.seg_cat)
+               s.Pstm_obs.Causal.seg_src s.Pstm_obs.Causal.seg_dst Sim_time.pp
+               (Pstm_obs.Causal.seg_dur s))
+           top;
+         (match json with
+         | None -> ()
+         | Some path ->
+           Pstm_obs.Json.write_file path (Pstm_obs.Causal.to_json causal);
+           Fmt.pr "causal attribution written to %s@." path);
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Run a query with causal tracing and explain where its latency went: critical-path \
+          extraction over the hand-off DAG, attributed to compute / queue-wait / network / \
+          retransmit-recovery / barrier / tracker-coordination")
+    Term.(
+      const run $ dataset_arg $ query_arg $ nodes_arg $ workers_arg $ batched_arg $ slow_arg
+      $ json_arg $ segments_arg)
 
 let chaos_cmd =
   let drop_arg =
@@ -724,6 +812,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            datasets_cmd; query_cmd; explain_cmd; trace_cmd; chaos_cmd; mc_cmd;
+            datasets_cmd; query_cmd; explain_cmd; trace_cmd; why_cmd; chaos_cmd; mc_cmd;
             repartition_cmd; ldbc_cmd; verify_cmd;
           ]))

@@ -88,25 +88,32 @@ let default_options =
     initial_assignment = None;
   }
 
+(* Every payload that can sit on a query's causal chain carries a causal
+   context [cz]: the id of the {!Pstm_obs.Causal} DAG node that produced
+   it (-1 when causal tracing is off). The field is mutable because
+   delivery rewrites it to the arrival node, so the consumer's edge
+   covers only the queue wait, not the network hop again. [cz] is pure
+   metadata: [payload_bytes] ignores it, so the simulated byte counts
+   and costs are untouched whether tracing is on or off. *)
 type payload =
-  | P_trav of { qid : int; trav : Traverser.t }
-  | P_trav_batch of { qid : int; travs : Traverser.t list }
+  | P_trav of { qid : int; trav : Traverser.t; mutable cz : int }
+  | P_trav_batch of { qid : int; travs : Traverser.t list; mutable cz : int }
     (* Frontier batching ([Engine.Common.batched]): one coalesced message
        per (destination, step) group instead of one packet per traverser.
        Each traverser still carries its own step and weight, so reliable
        delivery (ack / retransmit / dedup) treats the batch like any
        other payload and conservation is untouched. *)
-  | P_progress of { qid : int; phase : int; weight : Weight.t }
-  | P_agg_flush of { qid : int; agg_step : int }
-  | P_agg_partial of { qid : int; agg_step : int; partial : Aggregate.t option }
+  | P_progress of { qid : int; phase : int; weight : Weight.t; mutable cz : int }
+  | P_agg_flush of { qid : int; agg_step : int; mutable cz : int }
+  | P_agg_partial of { qid : int; agg_step : int; partial : Aggregate.t option; mutable cz : int }
   | P_cleanup of { qid : int }
-  | P_setup of { qid : int } (* dataflow flavors: instantiate operators *)
-  | P_setup_ack of { qid : int }
+  | P_setup of { qid : int; mutable cz : int } (* dataflow flavors: instantiate operators *)
+  | P_setup_ack of { qid : int; mutable cz : int }
   (* Vertex migration (adaptive repartitioning). The order goes to the
      old owner, which extracts the vertex's memo entries and ships them
      to the new owner as one costed data message. *)
-  | P_migrate of { vertex : int; dst : int }
-  | P_migrate_data of { vertex : int; entries : (int * int * Memo.entry) list }
+  | P_migrate of { vertex : int; dst : int; mutable cz : int }
+  | P_migrate_data of { vertex : int; entries : (int * int * Memo.entry) list; mutable cz : int }
 
 let payload_bytes = function
   | P_trav { trav; _ } -> 8 + Traverser.bytes trav
@@ -153,6 +160,17 @@ type worker = {
   mutable awake : bool; (* a quantum event is scheduled *)
   members : int array Lazy.t; (* owned vertices, for Scan sources *)
   scratch : Batch_exec.scratch Lazy.t; (* batched-mode bitset verdict memo *)
+  (* Causal worker chain: the last execution node on this worker and its
+     query, valid only while the worker has been continuously busy since
+     (invalidated at every idle gap). When the chain is live and owned by
+     the same query, the next execution's binding cause is the previous
+     execution — worker occupancy — rather than its own queue wait. *)
+  mutable cz_last : int;
+  mutable cz_last_qid : int;
+  (* Per-(qid, phase) causal node of the last execution that contributed
+     finished weight to the coalescer since its last drain; the flushed
+     progress message inherits it, so coalescer dwell is attributable. *)
+  cz_coalesce : (int * int, int) Hashtbl.t;
 }
 
 let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_config
@@ -266,6 +284,11 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   let trace = Pstm_obs.Recorder.trace obs in
   let flight = Pstm_obs.Recorder.flight obs in
   let opstats = Pstm_obs.Recorder.opstats obs in
+  (* Causal tracing (EXPLAIN LATENCY): every hand-off registers a DAG
+     node; the producing context rides the payload's [cz] field. All
+     sites are guarded by [cz_on], so the default path pays nothing. *)
+  let causal = Pstm_obs.Recorder.causal obs in
+  let cz_on = Pstm_obs.Causal.enabled causal in
   let inflight = ref 0 in
   (* dispatched but not yet executed traversers *)
   if obs_on then
@@ -310,6 +333,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           busy_until = Sim_time.zero;
           busy_total = Sim_time.zero;
           awake = false;
+          cz_last = -1;
+          cz_last_qid = -1;
+          cz_coalesce = Hashtbl.create 4;
           members =
             (* Under adaptive repartitioning the owner table mutates at
                runtime; Scan sources partition the vertex set by the
@@ -455,6 +481,41 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   (* --- Channel and routing -------------------------------------------- *)
   let channel_ref = ref None in
   let channel () = Option.get !channel_ref in
+  (* Arrival interception: when a context-carrying payload lands on a
+     worker's queue, register an arrival node at the delivery instant and
+     rewrite the payload's [cz] to it, so the consumer's edge covers only
+     the queue wait from here on. The hop edge is Network, or Retransmit
+     when the reliable channel is delivering a retransmitted copy — that
+     edge *is* the recovery stall. Same-worker sends bypass this (no hop:
+     the consumer binds straight to the producer). *)
+  let cz_arrive_payload p =
+    let hop =
+      match !channel_ref with
+      | Some ch when Channel.delivering_retransmitted ch -> Pstm_obs.Causal.Retransmit
+      | _ -> Pstm_obs.Causal.Network
+    in
+    let ts = Cluster.now cluster in
+    let arrive ~qid ~name cz =
+      if cz < 0 then -1
+      else begin
+        let a = Pstm_obs.Causal.node causal ~qid ~name ~ts in
+        Pstm_obs.Causal.edge causal ~src:cz ~dst:a hop;
+        a
+      end
+    in
+    match p with
+    | P_trav ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive" r.cz
+    | P_trav_batch ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-batch" r.cz
+    | P_progress ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-progress" r.cz
+    | P_agg_flush ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-agg" r.cz
+    | P_agg_partial ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-partial" r.cz
+    | P_setup ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-setup" r.cz
+    | P_setup_ack ({ qid; _ } as r) -> r.cz <- arrive ~qid ~name:"arrive-ack" r.cz
+    | P_migrate ({ vertex = _; _ } as r) -> r.cz <- arrive ~qid:(-1) ~name:"arrive-migrate" r.cz
+    | P_migrate_data ({ vertex = _; _ } as r) ->
+      r.cz <- arrive ~qid:(-1) ~name:"arrive-mdata" r.cz
+    | P_cleanup _ -> ()
+  in
   let rec wake w =
     if not w.awake then begin
       w.awake <- true;
@@ -465,6 +526,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     end
   (* ---- Message / task processing ------------------------------------- *)
   and deliver dst payload =
+    if cz_on then cz_arrive_payload payload;
     let w = workers.(dst) in
     Queue.add payload w.tasks;
     wake w
@@ -500,7 +562,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         | v -> Value.hash v mod n_workers
       end
     end
-  and dispatch_trav ~at ~src ?src_vertex q trav =
+  and dispatch_trav ~at ~src ?src_vertex ?(cz = -1) q trav =
     if obs_on then incr inflight;
     let dst = route q trav in
     let step = Program.step q.program trav.step in
@@ -509,7 +571,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       | Step.Emit _ -> Metrics.Result_msg
       | _ -> Metrics.Traverser_msg
     in
-    let cost = send ~at ~src ~dst ~kind (P_trav { qid = q.qid; trav }) in
+    let cost = send ~at ~src ~dst ~kind (P_trav { qid = q.qid; trav; cz }) in
     (* Traffic profiling: every remote dispatch whose target is decided
        by a vertex's owner is an edge of the workload's communication
        graph — the signal the adaptive repartitioner minimizes. *)
@@ -523,7 +585,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           let bytes = 8 + Traverser.bytes trav in
           Pstm_obs.Traffic.record obs_traffic ~src:u ~dst:v ~bytes;
           Pstm_obs.Traffic.record profile ~src:u ~dst:v ~bytes;
-          if adaptive_on then Sim_time.add cost (maybe_adapt ~at ~src) else cost
+          if adaptive_on then Sim_time.add cost (maybe_adapt ~at ~src ~cz ()) else cost
       end
     end
     else cost
@@ -536,7 +598,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
      the old owner get forwarded on arrival, and arrivals at the new
      owner park until the entries land, so no memo state is ever read
      half-moved and Theorem 1's weight conservation is untouched. *)
-  and maybe_adapt ~at ~src =
+  and maybe_adapt ~at ~src ?(cz = -1) () =
     let ao = options.adaptive in
     if
       Pstm_obs.Traffic.total_count profile - !profiled_at_round >= ao.min_traffic
@@ -569,15 +631,23 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             cost :=
               Sim_time.add !cost
                 (send ~at ~src ~dst:old_owner ~kind:Metrics.Control_msg
-                   (P_migrate { vertex; dst = new_owner }))
+                   (P_migrate { vertex; dst = new_owner; cz }))
           end)
         moves;
       !cost
     end
     else Sim_time.zero
   (* ---- Progress tracking ---------------------------------------------- *)
-  and tracker_receive ~at w q phase weight =
+  and tracker_receive ~at ?(cz = -1) w q phase weight =
     Metrics.count_tracker_update metrics;
+    let cz =
+      if not cz_on then -1
+      else begin
+        let r = Pstm_obs.Causal.node causal ~qid:q.qid ~name:"tracker" ~ts:at in
+        Pstm_obs.Causal.edge causal ~src:cz ~dst:r Pstm_obs.Causal.Tracker;
+        r
+      end
+    in
     if not (Weight.is_zero weight) then tracker_event "receive" ~qid:q.qid ~phase;
     if obs_on then begin
       let acc = Weight.add (Progress.accumulated q.trackers.(phase)) weight in
@@ -601,7 +671,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     match Progress.receive q.trackers.(phase) weight with
     | Progress.Complete ->
       tracker_event "complete" ~qid:q.qid ~phase;
-      Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
+      Sim_time.add costs.Cluster.progress_add (phase_complete ~at ~cz w q phase)
     | Progress.Pending ->
       if
         mutation = Some Mutation.Early_tracker_release
@@ -611,15 +681,19 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         (* Mutant: declare the phase done before Theorem 1's conservation
            sum closes. *)
         Progress.force_complete q.trackers.(phase);
-        Sim_time.add costs.Cluster.progress_add (phase_complete ~at w q phase)
+        Sim_time.add costs.Cluster.progress_add (phase_complete ~at ~cz w q phase)
       end
       else costs.Cluster.progress_add
-  and finish_weight ~at w q phase weight =
+  and finish_weight ~at ?(cz = -1) w q phase weight =
     if Weight.is_zero weight then Sim_time.zero
     else begin
       let coalescing = options.weight_coalescing || options.flavor <> Graphdance in
       if coalescing then begin
         Progress.coalesce w.coalescer ~qid:q.qid ~phase weight;
+        (* The coalescer merges weights from many executions; the flushed
+           message inherits the context of the *last* contributor, which
+           is the one the tracker was actually waiting on. *)
+        if cz_on then Hashtbl.replace w.cz_coalesce (q.qid, phase) cz;
         (* The "slightly higher per-traverser progress tracking overhead"
            of §V-B: the weight addition plus the local hash merge. The
            dataflow flavors track progress per operator scope instead and
@@ -628,10 +702,10 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           Sim_time.add costs.Cluster.progress_add costs.Cluster.progress_coalesce
         else Sim_time.zero
       end
-      else if q.coordinator = w.id then tracker_receive ~at w q phase weight
+      else if q.coordinator = w.id then tracker_receive ~at ~cz w q phase weight
       else
         send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Progress_msg
-          (P_progress { qid = q.qid; phase; weight })
+          (P_progress { qid = q.qid; phase; weight; cz })
     end
   and flush_progress ~at w =
     if Progress.is_empty w.coalescer then Sim_time.zero
@@ -642,17 +716,33 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           match Hashtbl.find_opt queries qid with
           | None -> ()
           | Some q ->
-            if q.coordinator = w.id then cost := Sim_time.add !cost (tracker_receive ~at w q phase weight)
+            (* Coalescer dwell shows up as a Tracker segment: the flush
+               node sits between the last contributing execution and the
+               tracker receive (local) or the progress message (remote). *)
+            let cz =
+              if not cz_on then -1
+              else begin
+                match Hashtbl.find_opt w.cz_coalesce (qid, phase) with
+                | None -> -1
+                | Some src ->
+                  Hashtbl.remove w.cz_coalesce (qid, phase);
+                  let f = Pstm_obs.Causal.node causal ~qid ~name:"progress-flush" ~ts:at in
+                  Pstm_obs.Causal.edge causal ~src ~dst:f Pstm_obs.Causal.Tracker;
+                  f
+              end
+            in
+            if q.coordinator = w.id then
+              cost := Sim_time.add !cost (tracker_receive ~at ~cz w q phase weight)
             else
               cost :=
                 Sim_time.add !cost
                   (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Progress_msg
-                     (P_progress { qid; phase; weight })))
+                     (P_progress { qid; phase; weight; cz })))
         (Progress.drain w.coalescer);
       !cost
     end
   (* ---- Phase transitions ----------------------------------------------- *)
-  and phase_complete ~at w q phase =
+  and phase_complete ~at ?(cz = -1) w q phase =
     tracker_event "release" ~qid:q.qid ~phase;
     if obs_on then
       Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"phase_complete" ~ts:at
@@ -672,19 +762,35 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         else Array.init n_workers Fun.id
       in
       q.combine_expected <- Array.length responders;
+      let cz =
+        if not cz_on then -1
+        else begin
+          let p = Pstm_obs.Causal.node causal ~qid:q.qid ~name:"phase-complete" ~ts:at in
+          Pstm_obs.Causal.edge causal ~src:cz ~dst:p Pstm_obs.Causal.Tracker;
+          p
+        end
+      in
       let cost = ref Sim_time.zero in
       Array.iter
         (fun dst ->
           cost :=
             Sim_time.add !cost
               (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg
-                 (P_agg_flush { qid = q.qid; agg_step })))
+                 (P_agg_flush { qid = q.qid; agg_step; cz })))
         responders;
       !cost
-    | None -> complete_query ~at w q
-  and complete_query ~at w q =
-    q.completed <- Some (max at (Cluster.now cluster));
+    | None -> complete_query ~at ~cz w q
+  and complete_query ~at ?(cz = -1) w q =
+    let released_at = max at (Cluster.now cluster) in
+    q.completed <- Some released_at;
     q.active <- false;
+    if cz_on then begin
+      (* Terminal node: the walk back from here along binding edges is the
+         query's critical path, and its segments sum to the latency. *)
+      let z = Pstm_obs.Causal.node causal ~qid:q.qid ~name:"release" ~ts:released_at in
+      Pstm_obs.Causal.edge causal ~src:cz ~dst:z Pstm_obs.Causal.Tracker;
+      Pstm_obs.Causal.set_release causal ~qid:q.qid z
+    end;
     if obs_on then
       Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"complete" ~ts:at
         ~args:
@@ -706,7 +812,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   (* ---- Task execution --------------------------------------------------- *)
   and process w ~at payload =
     match payload with
-    | P_trav { qid; trav } -> begin
+    | P_trav { qid; trav; cz } -> begin
       if obs_on then decr inflight;
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
@@ -720,16 +826,25 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           Metrics.count_forwarded metrics;
           mig_event "forward" v;
           if obs_on then incr inflight;
+          let cz =
+            if not cz_on then -1
+            else begin
+              let f = Pstm_obs.Causal.node causal ~qid ~name:"forward" ~ts:at in
+              Pstm_obs.Causal.edge causal ~src:cz ~dst:f Pstm_obs.Causal.Queue;
+              f
+            end
+          in
           send ~at ~src:w.id ~dst:(Partition.owner partition v) ~kind:Metrics.Traverser_msg
-            (P_trav { qid; trav })
+            (P_trav { qid; trav; cz })
         | Some v when Hashtbl.mem migrating v ->
           (* We are the new owner but the memo entries are still in
              flight: park the traverser until P_migrate_data lands, so
-             dedup / visit / join state is never consulted half-moved. *)
+             dedup / visit / join state is never consulted half-moved.
+             The context parks with it; the stash wait reads as Queue. *)
           Metrics.count_stashed metrics;
           mig_event "stash" v;
           let stash = Hashtbl.find migrating v in
-          stash := P_trav { qid; trav } :: !stash;
+          stash := P_trav { qid; trav; cz } :: !stash;
           Sim_time.zero
         | _ ->
         if obs_on && Bitset.add_if_absent q.touched w.id then
@@ -743,6 +858,27 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           | Some l -> Array.of_seq (Seq.filter (Graph.has_vertex_label graph ~label:l) (Array.to_seq mine))
         in
         Metrics.count_step metrics;
+        (* Execution node. Incoming edges, binding last: the arrival /
+           producer context first (its span is the queue wait), then —
+           when this worker has run continuously and its previous
+           execution belonged to the same query — the worker chain
+           (the span is serial compute occupancy). *)
+        let cz_exec =
+          if not cz_on then -1
+          else begin
+            let s =
+              Pstm_obs.Causal.node causal ~qid
+                ~name:(Step.op_name (Program.step q.program trav.Traverser.step).Step.op)
+                ~ts:at
+            in
+            Pstm_obs.Causal.edge causal ~src:cz ~dst:s Pstm_obs.Causal.Queue;
+            if w.cz_last_qid = qid then
+              Pstm_obs.Causal.edge causal ~src:w.cz_last ~dst:s Pstm_obs.Causal.Compute;
+            w.cz_last <- s;
+            w.cz_last_qid <- qid;
+            s
+          end
+        in
         let outcome =
           Exec.exec ~graph ~memo:w.memo ~prng:w.prng ~qid ~program:q.program ~scan trav
         in
@@ -765,7 +901,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             Metrics.count_spawn metrics;
             cost :=
               Sim_time.add !cost
-                (dispatch_trav ~at ~src:w.id ~src_vertex:trav.Traverser.vertex q child))
+                (dispatch_trav ~at ~src:w.id ~src_vertex:trav.Traverser.vertex ~cz:cz_exec q
+                   child))
           outcome.Exec.spawns;
         (* Rows are only produced by Emit, which routes to the coordinator
            first — so they land here, at the coordinator itself. *)
@@ -775,12 +912,14 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             Vec.push q.rows row;
             cost :=
               Sim_time.add !cost
-                (tracker_receive ~at w q (Program.phase_of_step q.program trav.step) weight))
+                (tracker_receive ~at ~cz:cz_exec w q
+                   (Program.phase_of_step q.program trav.step)
+                   weight))
           outcome.Exec.rows;
         if not (Weight.is_zero outcome.Exec.finished) then
           cost :=
             Sim_time.add !cost
-              (finish_weight ~at w q (Program.phase_of_step q.program trav.step)
+              (finish_weight ~at ~cz:cz_exec w q (Program.phase_of_step q.program trav.step)
                  outcome.Exec.finished);
         if obs_on then
           Pstm_obs.Trace.span trace ~tid:w.id
@@ -791,27 +930,37 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         !cost
       end
     end
-    | P_trav_batch { qid; travs } ->
+    | P_trav_batch { qid; travs; cz } ->
       (* Only the batched drain produces these, and it also consumes them;
          if one reaches the scalar path anyway, unpack and run in order. *)
       List.fold_left
-        (fun acc trav -> Sim_time.add acc (process w ~at (P_trav { qid; trav })))
+        (fun acc trav -> Sim_time.add acc (process w ~at (P_trav { qid; trav; cz })))
         Sim_time.zero travs
-    | P_progress { qid; phase; weight } -> begin
+    | P_progress { qid; phase; weight; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
-      | Some q -> tracker_receive ~at w q phase weight
+      | Some q -> tracker_receive ~at ~cz w q phase weight
     end
-    | P_agg_flush { qid; agg_step } -> begin
+    | P_agg_flush { qid; agg_step; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q ->
         let partial = Memo.partial_opt w.memo ~qid ~label:agg_step in
+        let cz =
+          if not cz_on then -1
+          else begin
+            (* Collective leg: the coordinator waits for every partial, so
+               the flush and partial hops classify as Barrier. *)
+            let a = Pstm_obs.Causal.node causal ~qid ~name:"agg-flush" ~ts:at in
+            Pstm_obs.Causal.edge causal ~src:cz ~dst:a Pstm_obs.Causal.Barrier;
+            a
+          end
+        in
         Sim_time.add (memo_op_cost ())
           (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg
-             (P_agg_partial { qid; agg_step; partial }))
+             (P_agg_partial { qid; agg_step; partial; cz }))
     end
-    | P_agg_partial { qid; agg_step; partial } -> begin
+    | P_agg_partial { qid; agg_step; partial; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q ->
@@ -844,34 +993,62 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           Metrics.count_spawn metrics;
           (* The continuation enters the next phase from outside any step. *)
           Pstm_obs.Opstats.seed opstats 1;
-          Sim_time.add (memo_op_cost ()) (dispatch_trav ~at ~src:w.id q cont)
+          let cz =
+            if not cz_on then -1
+            else begin
+              (* The combine binds to the last partial in: the barrier
+                 wait is exactly what the straggling responder cost. *)
+              let c = Pstm_obs.Causal.node causal ~qid ~name:"agg-combine" ~ts:at in
+              Pstm_obs.Causal.edge causal ~src:cz ~dst:c Pstm_obs.Causal.Barrier;
+              c
+            end
+          in
+          Sim_time.add (memo_op_cost ()) (dispatch_trav ~at ~src:w.id ~cz q cont)
         end
     end
     | P_cleanup { qid } ->
       Memo.clear_query w.memo qid;
       memo_op_cost ()
-    | P_setup { qid } -> begin
+    | P_setup { qid; cz } -> begin
       (* Dataflow flavors instantiate every operator of the query's plan
          (plus its channels) in this worker before execution can start. *)
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q ->
         let instantiate = 8 * Program.n_steps q.program * costs.Cluster.operator_sched in
+        let cz =
+          if not cz_on then -1
+          else begin
+            let s = Pstm_obs.Causal.node causal ~qid ~name:"setup" ~ts:at in
+            Pstm_obs.Causal.edge causal ~src:cz ~dst:s Pstm_obs.Causal.Compute;
+            s
+          end
+        in
         Sim_time.add instantiate
-          (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg (P_setup_ack { qid }))
+          (send ~at ~src:w.id ~dst:q.coordinator ~kind:Metrics.Control_msg
+             (P_setup_ack { qid; cz }))
     end
-    | P_setup_ack { qid } -> begin
+    | P_setup_ack { qid; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
       | Some q ->
         q.setup_acks <- q.setup_acks - 1;
         if q.setup_acks = 0 then begin
-          launch_entries ~at q;
+          (* Deployment barrier: launch binds to the last ack in. *)
+          let cz =
+            if not cz_on then -1
+            else begin
+              let l = Pstm_obs.Causal.node causal ~qid ~name:"launch" ~ts:at in
+              Pstm_obs.Causal.edge causal ~src:cz ~dst:l Pstm_obs.Causal.Barrier;
+              l
+            end
+          in
+          launch_entries ~at ~cz q;
           costs.Cluster.operator_sched * Program.n_steps q.program
         end
         else costs.Cluster.operator_sched
     end
-    | P_migrate { vertex; dst } ->
+    | P_migrate { vertex; dst; cz } ->
       (* Old owner: pull the vertex's records out of the local memo (all
          queries, deterministic order) and ship them as one costed data
          message. Any traverser for the vertex still queued behind this
@@ -879,10 +1056,19 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
       let entries = Memo.extract_for_key w.memo (Value.Vertex vertex) in
       mig_event "extract" vertex;
       Metrics.count_migrated_entries metrics (List.length entries);
+      let cz =
+        if not cz_on then -1
+        else begin
+          let e = Pstm_obs.Causal.node causal ~qid:(-1) ~name:"migrate-extract" ~ts:at in
+          Pstm_obs.Causal.edge causal ~src:cz ~dst:e Pstm_obs.Causal.Queue;
+          e
+        end
+      in
       Sim_time.add
         (memo_op_cost () * (1 + List.length entries))
-        (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg (P_migrate_data { vertex; entries }))
-    | P_migrate_data { vertex; entries } ->
+        (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg
+           (P_migrate_data { vertex; entries; cz }))
+    | P_migrate_data { vertex; entries; cz } ->
       (* New owner: install the records — entries of queries that
          completed while the message was in flight are dropped (their
          cleanup broadcast already passed) — then release any parked
@@ -901,12 +1087,26 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           List.iter
             (fun p ->
               if obs_on then incr inflight;
+              (* Each parked traverser resumes through a drain node. The
+                 install context comes in first (for DAG completeness);
+                 the traverser's own parked context binds last, so the
+                 walk stays within its query and the whole stash wait
+                 reads as Queue. *)
+              (if cz_on then begin
+                 match p with
+                 | P_trav ({ qid; _ } as r) when r.cz >= 0 ->
+                   let d = Pstm_obs.Causal.node causal ~qid ~name:"stash-drain" ~ts:at in
+                   Pstm_obs.Causal.edge causal ~src:cz ~dst:d Pstm_obs.Causal.Queue;
+                   Pstm_obs.Causal.edge causal ~src:r.cz ~dst:d Pstm_obs.Causal.Queue;
+                   r.cz <- d
+                 | _ -> ()
+               end);
               Queue.add p w.tasks)
             (List.rev !stash)
       | None -> ());
       memo_op_cost () * (1 + List.length entries)
   (* ---- Worker scheduling loop ------------------------------------------- *)
-  and launch_entries ~at q =
+  and launch_entries ~at ?(cz = -1) q =
     let entries = Program.entries q.program in
     let shares = Weight.split seed_prng Weight.root ~n:(Array.length entries) in
     Array.iteri
@@ -926,12 +1126,12 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             (fun dst seed ->
               ignore
                 (send ~at ~src:q.coordinator ~dst ~kind:Metrics.Control_msg
-                   (P_trav { qid = q.qid; trav = Traverser.with_weight root seed })))
+                   (P_trav { qid = q.qid; trav = Traverser.with_weight root seed; cz })))
             seeds
         | _ ->
           Pstm_obs.Opstats.seed opstats 1;
           if obs_on then incr inflight;
-          deliver q.coordinator (P_trav { qid = q.qid; trav = root }))
+          deliver q.coordinator (P_trav { qid = q.qid; trav = root; cz }))
       entries
   (* ---- Frontier batching ([Engine.Common.batched]) ---------------------
      The quantum drains its task queue into per-(qid, step) frontier
@@ -942,31 +1142,40 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
      executes before the quantum ends — so no weight is ever parked
      across quanta and termination detection is untouched. *)
   and drain_batched w local budget =
-    let groups : (int * int, Traverser.t Vec.t) Hashtbl.t = Hashtbl.create 8 in
+    (* Each group carries the distinct causal contexts of the payloads
+       that fed it (consecutive-dedup: a batch contributes one context
+       for all its elements), so the batch node can record every arrival
+       it coalesced. *)
+    let groups : (int * int, Traverser.t Vec.t * int Vec.t) Hashtbl.t = Hashtbl.create 8 in
     let order = ref [] in
-    let stage qid (trav : Traverser.t) =
+    let stage ~cz qid (trav : Traverser.t) =
       if obs_on then decr inflight;
       let key = (qid, trav.Traverser.step) in
       match Hashtbl.find_opt groups key with
-      | Some bucket -> Vec.push bucket trav
+      | Some (bucket, czs) ->
+        Vec.push bucket trav;
+        if cz >= 0 && (Vec.length czs = 0 || Vec.get czs (Vec.length czs - 1) <> cz) then
+          Vec.push czs cz
       | None ->
         let bucket = Vec.create ~dummy:trav in
+        let czs = Vec.create ~dummy:(-1) in
         Vec.push bucket trav;
-        Hashtbl.add groups key bucket;
+        if cz >= 0 then Vec.push czs cz;
+        Hashtbl.add groups key (bucket, czs);
         order := key :: !order
     in
     while !budget > 0 && not (Queue.is_empty w.tasks) do
       match Queue.pop w.tasks with
-      | P_trav { qid; trav } ->
+      | P_trav { qid; trav; cz } ->
         decr budget;
-        stage qid trav
-      | P_trav_batch { qid; travs } ->
+        stage ~cz qid trav
+      | P_trav_batch { qid; travs; cz } ->
         (* Each element charges the budget: a batch is cheaper to execute,
            not free to schedule. *)
         List.iter
           (fun trav ->
             decr budget;
-            stage qid trav)
+            stage ~cz qid trav)
           travs
       | payload ->
         decr budget;
@@ -974,15 +1183,40 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     done;
     List.iter
       (fun (qid, step_idx) ->
-        let travs = Vec.to_array (Hashtbl.find groups (qid, step_idx)) in
+        let bucket, czs = Hashtbl.find groups (qid, step_idx) in
+        let travs = Vec.to_array bucket in
         local :=
-          Sim_time.add !local (fault_scale w.id (exec_batch w ~at:!local ~qid ~step_idx travs)))
+          Sim_time.add !local
+            (fault_scale w.id (exec_batch w ~at:!local ~qid ~step_idx ~czs travs)))
       (List.rev !order)
-  and exec_batch w ~at ~qid ~step_idx travs_all =
+  and exec_batch w ~at ~qid ~step_idx ~czs travs_all =
+    ignore (czs : int Vec.t);
     match Hashtbl.find_opt queries qid with
     | None -> Sim_time.zero
     | Some q when not q.active -> Sim_time.zero
     | Some q ->
+      (* One execution node per frontier group, created before the
+         migration gate so forwarded / stashed elements inherit it.
+         Incoming: every coalesced context (Queue) first, the worker
+         chain (Compute) last when it binds. *)
+      let cz_b =
+        if not cz_on then -1
+        else begin
+          let s =
+            Pstm_obs.Causal.node causal ~qid
+              ~name:(Step.op_name (Program.step q.program step_idx).Step.op)
+              ~ts:at
+          in
+          Vec.iter
+            (fun c -> Pstm_obs.Causal.edge causal ~src:c ~dst:s Pstm_obs.Causal.Queue)
+            czs;
+          if w.cz_last_qid = qid then
+            Pstm_obs.Causal.edge causal ~src:w.cz_last ~dst:s Pstm_obs.Causal.Compute;
+          w.cz_last <- s;
+          w.cz_last_qid <- qid;
+          s
+        end
+      in
       let cost = ref Sim_time.zero in
       (* The migration gate reruns at execution time: the owner table may
          have flipped while the group sat staged, and a stale execution
@@ -1001,13 +1235,13 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                    cost :=
                      Sim_time.add !cost
                        (send ~at ~src:w.id ~dst:(Partition.owner partition v)
-                          ~kind:Metrics.Traverser_msg (P_trav { qid; trav }));
+                          ~kind:Metrics.Traverser_msg (P_trav { qid; trav; cz = cz_b }));
                    false
                  | Some v when Hashtbl.mem migrating v ->
                    Metrics.count_stashed metrics;
                    mig_event "stash" v;
                    let stash = Hashtbl.find migrating v in
-                   stash := P_trav { qid; trav } :: !stash;
+                   stash := P_trav { qid; trav; cz = cz_b } :: !stash;
                    false
                  | _ -> true)
                (Array.to_list travs_all))
@@ -1124,7 +1358,8 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             if dst <> w.id then Metrics.count_coalesced_msg metrics;
             let travs = List.map snd (Vec.to_list children) in
             cost :=
-              Sim_time.add !cost (send ~at ~src:w.id ~dst ~kind (P_trav_batch { qid; travs }));
+              Sim_time.add !cost
+                (send ~at ~src:w.id ~dst ~kind (P_trav_batch { qid; travs; cz = cz_b }));
             if (traffic_on || adaptive_on) && dst <> w.id then
               Vec.iter
                 (fun (parent_vertex, child) ->
@@ -1136,7 +1371,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                     Pstm_obs.Traffic.record profile ~src:parent_vertex ~dst:v ~bytes)
                 children)
           (List.rev !bucket_order);
-        if adaptive_on then cost := Sim_time.add !cost (maybe_adapt ~at ~src:w.id);
+        if adaptive_on then cost := Sim_time.add !cost (maybe_adapt ~at ~src:w.id ~cz:cz_b ());
         (* Rows land here at the coordinator (Emit routes there first);
            their weight reaches the tracker as one per-batch merge. *)
         if !rows <> [] then begin
@@ -1149,12 +1384,15 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             !rows;
           cost :=
             Sim_time.add !cost
-              (tracker_receive ~at w q (Program.phase_of_step q.program step_idx) !row_weight)
+              (tracker_receive ~at ~cz:cz_b w q
+                 (Program.phase_of_step q.program step_idx)
+                 !row_weight)
         end;
         if not (Weight.is_zero !finished) then
           cost :=
             Sim_time.add !cost
-              (finish_weight ~at w q (Program.phase_of_step q.program step_idx) !finished);
+              (finish_weight ~at ~cz:cz_b w q (Program.phase_of_step q.program step_idx)
+                 !finished);
         if obs_on then
           Pstm_obs.Trace.span trace ~tid:w.id
             ~name:("batch:" ^ Step.op_name (Program.step q.program step_idx).Step.op)
@@ -1182,6 +1420,12 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         (fun () -> quantum w)
     else run_quantum w quantum_start
   and run_quantum w quantum_start =
+    (* An idle gap breaks the worker chain: the next execution's wait is
+       genuinely its own queue/arrival time, not serial occupancy. *)
+    if cz_on && Sim_time.compare quantum_start w.busy_until > 0 then begin
+      w.cz_last <- -1;
+      w.cz_last_qid <- -1
+    end;
     let local = ref quantum_start in
     if obs_on then begin
       Pstm_obs.Flight.sample flight fl_queue.(w.id) ~time:quantum_start
@@ -1279,11 +1523,19 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           for phase = 0 to Program.n_phases program - 1 do
             tracker_event "register" ~qid ~phase
           done;
+          let cz_sub =
+            if not cz_on then -1
+            else begin
+              let s0 = Pstm_obs.Causal.node causal ~qid ~name:"submit" ~ts:s.Engine.at in
+              Pstm_obs.Causal.set_submit causal ~qid s0;
+              s0
+            end
+          in
           match options.flavor with
           | Graphdance ->
             (* PSTM programs need no deployment: traversers carry their
                step index and workers interpret the shared plan. *)
-            launch_entries ~at:s.Engine.at q
+            launch_entries ~at:s.Engine.at ~cz:cz_sub q
           | Banyan_like | Gaia_like ->
             (* Dataflow engines deploy the operator graph to every worker
                and wait for acknowledgements before execution begins —
@@ -1291,7 +1543,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
                limited scaling. *)
             q.setup_acks <- n_workers;
             for dst = 0 to n_workers - 1 do
-              deliver dst (P_setup { qid })
+              deliver dst (P_setup { qid; cz = cz_sub })
             done))
     submissions;
   (* --- Run ------------------------------------------------------------- *)
@@ -1353,6 +1605,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             w.id n)
       workers
   end;
+  (* Surface ring truncation: a trace that silently dropped events would
+     otherwise read as a complete record. *)
+  if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
   let reports =
     Array.init (Array.length submissions) (fun qid ->
         let q = query qid in

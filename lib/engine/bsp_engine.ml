@@ -417,6 +417,9 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
             n)
       memos
   end;
+  (* Surface ring truncation: a trace that silently dropped events would
+     otherwise read as a complete record. *)
+  if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
   let reports =
     Array.map
       (fun q ->

@@ -6,15 +6,17 @@
 let opt_float = function None -> Json.Null | Some x -> Json.Float x
 
 let histogram_json (h : Histogram.t) =
+  let p50, p95, p99 = Histogram.quantiles h in
   Json.Obj
     [
       ("count", Json.Int (Histogram.count h));
       ("mean", Json.Float (Histogram.mean h));
       ("min", opt_float (Histogram.min_seen h));
       ("max", opt_float (Histogram.max_seen h));
-      ("p50", Json.Float (Histogram.percentile h 50.0));
-      ("p90", Json.Float (Histogram.percentile h 90.0));
-      ("p99", Json.Float (Histogram.percentile h 99.0));
+      ("p50", Json.Float p50);
+      ("p90", Json.Float (Histogram.quantile h 0.90));
+      ("p95", Json.Float p95);
+      ("p99", Json.Float p99);
     ]
 
 let metrics_json (m : Metrics.t) =
@@ -55,6 +57,7 @@ let metrics_json (m : Metrics.t) =
       ("plan_hits", Json.Int (Metrics.plan_hits m));
       ("plan_misses", Json.Int (Metrics.plan_misses m));
       ("plan_verifications", Json.Int (Metrics.plan_verifications m));
+      ("trace_dropped", Json.Int (Metrics.trace_dropped m));
     ]
 
 let summary_json (s : Stats.summary) =

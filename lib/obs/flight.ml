@@ -104,6 +104,9 @@ let n_series t = Vec.length t.all
 let points h = Vec.length h.times
 let seen h = h.seen
 
+let samples h =
+  List.map2 (fun t v -> (Sim_time.ns t, v)) (Vec.to_list h.times) (Vec.to_list h.values)
+
 let series_json s =
   let n = Vec.length s.times in
   let v_min = ref infinity and v_max = ref neg_infinity and v_sum = ref 0.0 in

@@ -30,5 +30,8 @@ val points : handle -> int
 (** Total samples offered, including thinned ones. *)
 val seen : handle -> int
 
+(** Retained samples in recording order: (sim-time, value). *)
+val samples : handle -> (Sim_time.t * float) list
+
 (** All series (creation order) with summary stats and retained points. *)
 val to_json : t -> Json.t

@@ -9,6 +9,7 @@ type t = {
   flight : Flight.t;
   opstats : Opstats.t;
   traffic : Traffic.t;
+  causal : Causal.t;
   enabled : bool;
 }
 
@@ -18,15 +19,20 @@ let disabled =
     flight = Flight.disabled;
     opstats = Opstats.disabled;
     traffic = Traffic.disabled;
+    causal = Causal.disabled;
     enabled = false;
   }
 
-let create ?trace_capacity ?flight_capacity () =
+(* Causal tracing stays off by default even when the rest of the bundle
+   is on: context threading allocates a DAG node per hand-off, which the
+   span/flight consumers don't need to pay for. *)
+let create ?trace_capacity ?flight_capacity ?(causal = false) ?causal_capacity () =
   {
     trace = Trace.create ?capacity:trace_capacity ();
     flight = Flight.create ?capacity:flight_capacity ();
     opstats = Opstats.create ();
     traffic = Traffic.create ();
+    causal = (if causal then Causal.create ?capacity:causal_capacity () else Causal.disabled);
     enabled = true;
   }
 
@@ -35,3 +41,4 @@ let trace t = t.trace
 let flight t = t.flight
 let opstats t = t.opstats
 let traffic t = t.traffic
+let causal t = t.causal

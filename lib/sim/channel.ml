@@ -78,6 +78,11 @@ type 'a t = {
   pending_bytes : int array array;
   window_open : bool array array;
   reliable : 'a reliable option;
+  (* True exactly while [deliver] runs for a packet whose delivering copy
+     was a retransmission (attempt > 0). Observers (the causal tracer)
+     read it from inside the deliver callback to classify the hop as
+     retransmit-recovery rather than plain network time. *)
+  mutable delivering_retx : bool;
 }
 
 let create cluster config ~dummy ~deliver =
@@ -113,6 +118,7 @@ let create cluster config ~dummy ~deliver =
     pending_bytes = Array.make_matrix n_nodes n_nodes 0;
     window_open = Array.make_matrix n_nodes n_nodes false;
     reliable;
+    delivering_retx = false;
   }
 
 let config t = t.config
@@ -134,7 +140,7 @@ let rec transmit t r ~at ~attempt pkt =
   let at = max at (Cluster.now t.cluster) in
   Cluster.send_packet t.cluster ~at ~src_node:pkt.p_src ~dst_node:pkt.p_dst
     ~bytes:(pkt.p_bytes + seq_header_bytes)
-    (fun () -> receive_data t r pkt);
+    (fun () -> receive_data t r ~retx:(attempt > 0) pkt);
   (* Arm the ack timer: on expiry, retransmit iff still unacked. The
      timer shares the link's dependence class — whether it fires before
      or after a same-time ack arrival is a real protocol race. *)
@@ -162,7 +168,7 @@ let rec transmit t r ~at ~attempt pkt =
           transmit t r ~at:(Event_queue.now events) ~attempt:(attempt + 1) pkt
         end)
 
-and receive_data t r pkt =
+and receive_data t r ~retx pkt =
   let metrics = Cluster.metrics t.cluster in
   let seen = r.recv_seen.(pkt.p_dst).(pkt.p_src) in
   let fresh = pkt.p_seq >= r.recv_low.(pkt.p_dst).(pkt.p_src) && not (Hashtbl.mem seen pkt.p_seq) in
@@ -183,7 +189,9 @@ and receive_data t r pkt =
     r.recv_low.(pkt.p_dst).(pkt.p_src) <- !low;
     Cluster.emit_protocol t.cluster Cluster.Pkt_deliver ~src:pkt.p_src ~dst:pkt.p_dst
       ~seq:pkt.p_seq;
-    deliver_all t pkt.p_messages
+    t.delivering_retx <- retx;
+    deliver_all t pkt.p_messages;
+    t.delivering_retx <- false
   end
   else begin
     Metrics.count_dup_dropped metrics;
@@ -239,6 +247,8 @@ let to_combiner t ~at ~src_node ~dst_node messages bytes =
     end
   end
   else emit_packet t ~at ~src_node ~dst_node messages bytes
+
+let delivering_retransmitted t = t.delivering_retx
 
 let has_buffered t ~worker =
   Array.exists (fun buffer -> not (Vec.is_empty buffer)) t.buffers.(worker)

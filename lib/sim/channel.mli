@@ -50,6 +50,12 @@ val send :
   'a ->
   Sim_time.t
 
+(** True exactly while [deliver] runs for a packet whose delivering copy
+    was a retransmission; the causal tracer reads this from inside the
+    deliver callback to classify the hop as retransmit-recovery time.
+    Always false outside deliver callbacks and on fault-free runs. *)
+val delivering_retransmitted : 'a t -> bool
+
 (** Whether any tier-1 buffer of the worker holds messages. *)
 val has_buffered : 'a t -> worker:int -> bool
 

@@ -62,6 +62,8 @@ type t = {
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable plan_verifications : int; (* full verifier runs (cold compiles) *)
+  (* Observability self-diagnostics (mirrored from the recorder ring): *)
+  mutable trace_dropped : int; (* trace events overwritten in the bounded ring *)
 }
 
 let create () =
@@ -97,6 +99,7 @@ let create () =
     plan_hits = 0;
     plan_misses = 0;
     plan_verifications = 0;
+    trace_dropped = 0;
   }
 
 let reset t =
@@ -130,7 +133,8 @@ let reset t =
   t.batch_sizes <- Histogram.create ~base:1.0 ();
   t.plan_hits <- 0;
   t.plan_misses <- 0;
-  t.plan_verifications <- 0
+  t.plan_verifications <- 0;
+  t.trace_dropped <- 0
 
 let count_message t kind bytes =
   let i = kind_index kind in
@@ -173,6 +177,8 @@ let count_plan_hit t = t.plan_hits <- t.plan_hits + 1
 let count_plan_miss t = t.plan_misses <- t.plan_misses + 1
 let count_plan_verification t = t.plan_verifications <- t.plan_verifications + 1
 
+let set_trace_dropped t n = t.trace_dropped <- n
+
 let add_plan_stats t ~hits ~misses ~verifications =
   t.plan_hits <- t.plan_hits + hits;
   t.plan_misses <- t.plan_misses + misses;
@@ -211,6 +217,7 @@ let batch_sizes t = t.batch_sizes
 let plan_hits t = t.plan_hits
 let plan_misses t = t.plan_misses
 let plan_verifications t = t.plan_verifications
+let trace_dropped t = t.trace_dropped
 
 let migration_seen t = t.migrations + t.migrated_entries + t.forwarded + t.stashed > 0
 
@@ -241,9 +248,17 @@ let pp ppf t =
       t.migrated_entries t.forwarded t.stashed;
   (* Batch counters only appear when frontier batching ran, so the
      unbatched output is unchanged. *)
-  if batching_seen t then
+  if batching_seen t then begin
     Fmt.pf ppf " batches=%d batched_travs=%d coalesced=%d" t.batches t.batched_traversers
       t.coalesced_msgs;
+    if Histogram.count t.batch_sizes > 0 then begin
+      let p50, p95, p99 = Histogram.quantiles t.batch_sizes in
+      Fmt.pf ppf " batch_p50/p95/p99=%.0f/%.0f/%.0f" p50 p95 p99
+    end
+  end;
   if plan_cache_seen t then
     Fmt.pf ppf " plan_hits=%d plan_misses=%d verified=%d" t.plan_hits t.plan_misses
-      t.plan_verifications
+      t.plan_verifications;
+  (* A truncated trace ring must be visible wherever metrics are read, so
+     a partial trace is never mistaken for a complete one. *)
+  if t.trace_dropped > 0 then Fmt.pf ppf " trace_dropped=%d" t.trace_dropped

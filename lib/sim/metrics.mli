@@ -46,6 +46,10 @@ val count_plan_verification : t -> unit
     [Pstm_query.Plan_cache.stats] (which cannot depend on this library)
     into the run report. *)
 val add_plan_stats : t -> hits:int -> misses:int -> verifications:int -> unit
+
+(** Mirror the trace ring's overwrite count into the run metrics (set, not
+    added: the ring keeps the authoritative count). *)
+val set_trace_dropped : t -> int -> unit
 val messages : t -> msg_kind -> int
 val message_bytes : t -> msg_kind -> int
 val total_messages : t -> int
@@ -92,6 +96,10 @@ val plan_hits : t -> int
 
 val plan_misses : t -> int
 val plan_verifications : t -> int
+
+(** Trace events overwritten in the bounded recorder ring; zero when the
+    trace is complete (or tracing is off). *)
+val trace_dropped : t -> int
 
 (** Whether any migration counter is non-zero. *)
 val migration_seen : t -> bool

@@ -55,10 +55,11 @@ let sum t = t.sum
 let min_seen t = if t.total = 0 then None else Some t.min_seen
 let max_seen t = if t.total = 0 then None else Some t.max_seen
 
-let percentile t q =
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
   if t.total = 0 then 0.0
   else begin
-    let rank = int_of_float (ceil (q /. 100.0 *. float_of_int t.total)) in
+    let rank = int_of_float (ceil (q *. float_of_int t.total)) in
     let rank = max 1 (min t.total rank) in
     let rec walk i seen =
       let seen = seen + t.counts.(i) in
@@ -69,6 +70,10 @@ let percentile t q =
     in
     walk 0 0
   end
+
+let percentile t q = quantile t (q /. 100.0)
+
+let quantiles t = (quantile t 0.50, quantile t 0.95, quantile t 0.99)
 
 let merge ~into t =
   if Array.length into.counts <> Array.length t.counts || into.base <> t.base

@@ -17,8 +17,15 @@ val min_seen : t -> float option
 (** Largest observation, or [None] when empty. *)
 val max_seen : t -> float option
 
-(** Approximate percentile ([q] in [0,100]); bounded relative error given
-    by the bucket growth ratio. *)
+(** Approximate quantile ([q] in [0,1]); bounded relative error given by
+    the bucket growth ratio, clamped by the observed extrema. *)
+val quantile : t -> float -> float
+
+(** [(p50, p95, p99)] in one call — the summary triple the metrics
+    pretty-printer and the benchmark JSON export share. *)
+val quantiles : t -> float * float * float
+
+(** Approximate percentile ([q] in [0,100]); [quantile] scaled. *)
 val percentile : t -> float -> float
 
 (** Merge [t] into [into]; layouts must match. *)

@@ -66,9 +66,11 @@ let test_trace_nesting () =
 
 let small_cluster = { Cluster.default_config with Cluster.n_nodes = 3; workers_per_node = 3 }
 
-let khop_program graph hops =
+let khop_program_at graph ~start hops =
   Compile.compile ~name:"khop" graph
-    Dsl.(v_lookup ~key:"id" (int 0) |> repeat ~dir:Graph.Out ~times:hops () |> count |> build)
+    Dsl.(v_lookup ~key:"id" (int start) |> repeat ~dir:Graph.Out ~times:hops () |> count |> build)
+
+let khop_program graph hops = khop_program_at graph ~start:0 hops
 
 let traced_run () =
   let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
@@ -143,6 +145,94 @@ let test_flight_decimation () =
      ignore (Flight.seen h');
      Flight.n_series f)
 
+(* Flight recorder through a hostile run: drop faults force retransmits
+   and aggressive adaptive knobs force mid-query migration, yet every
+   retained series must stay monotone in sim-time and the operator
+   counts must still conserve (no traverser lost or double-counted
+   across a retransmitted delivery or a vertex move). *)
+let test_flight_faults_migration () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let khop start = khop_program_at graph ~start 2 in
+  let subs =
+    Array.init 8 (fun i ->
+        Engine.submit ~at:(Sim_time.us (i * 10)) (khop (1 + (i mod 4))))
+  in
+  let options =
+    {
+      Async_engine.default_options with
+      Async_engine.partition = Partition.Adaptive;
+      adaptive =
+        {
+          Async_engine.default_adaptive with
+          Async_engine.refine_interval = Sim_time.us 5;
+          min_traffic = 16;
+        };
+    }
+  in
+  let obs = Recorder.create () in
+  let common =
+    {
+      (Engine.Common.with_obs obs Engine.Common.default) with
+      Engine.Common.check = true;
+      faults = Some { Faults.none with Faults.drop = 0.1 };
+    }
+  in
+  let report =
+    Async_engine.run ~options ~common
+      ~cluster_config:{ Cluster.default_config with Cluster.n_nodes = 2; workers_per_node = 4 }
+      ~channel_config:Channel.default_config ~graph subs
+  in
+  Alcotest.(check bool) "all queries complete" true (Engine.all_completed report);
+  let m = report.Engine.metrics in
+  Alcotest.(check bool) "retransmits engaged" true (Metrics.retransmits m > 0);
+  Alcotest.(check bool) "migrations happened" true (Metrics.migrations m > 0);
+  let flight = Recorder.flight obs in
+  Alcotest.(check bool) "series recorded" true (Flight.n_series flight > 0);
+  (* Every engine-recorded series samples against the simulated clock in
+     event order; decimation keeps a subsequence, so retained timestamps
+     must be nondecreasing. The engine names worker queue/memo series
+     and per-phase weight trajectories; walk them all. *)
+  let monotone h =
+    let rec ok = function
+      | (t0, _) :: ((t1, _) :: _ as rest) -> Sim_time.compare t0 t1 <= 0 && ok rest
+      | _ -> true
+    in
+    ok (Flight.samples h)
+  in
+  for w = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "worker%d.queue monotone" w)
+      true
+      (monotone (Flight.series flight (Printf.sprintf "worker%d.queue" w)));
+    Alcotest.(check bool)
+      (Printf.sprintf "worker%d.memo monotone" w)
+      true
+      (monotone (Flight.series flight (Printf.sprintf "worker%d.memo" w)))
+  done;
+  Alcotest.(check bool) "inflight monotone" true (monotone (Flight.series flight "inflight"));
+  Alcotest.(check bool) "weight trajectory monotone" true
+    (monotone (Flight.series flight "q0.phase0.weight"));
+  (* Conservation across retransmit + migration: every traverser that
+     entered a step is either forwarded, spawned or retired. *)
+  Alcotest.(check bool) "opstats conserve under faults + migration" true
+    (Opstats.conserves (Recorder.opstats obs))
+
+(* A trace ring too small for the run must surface its drop count in the
+   report's metrics, not lose it inside the recorder. *)
+let test_trace_dropped_surfaced () =
+  let graph = Pstm_gen.Datasets.load Pstm_gen.Datasets.tiny in
+  let obs = Recorder.create ~trace_capacity:8 () in
+  let report =
+    Async_engine.run
+      ~common:(Engine.Common.with_obs obs Engine.Common.default)
+      ~cluster_config:small_cluster ~channel_config:Channel.default_config ~graph
+      [| Engine.submit (khop_program graph 2) |]
+  in
+  let dropped = Trace.dropped (Recorder.trace obs) in
+  Alcotest.(check bool) "tiny ring dropped events" true (dropped > 0);
+  Alcotest.(check int) "drop count mirrored into metrics" dropped
+    (Metrics.trace_dropped report.Engine.metrics)
+
 let test_flight_disabled_noop () =
   let f = Flight.disabled in
   let h = Flight.series f "x" in
@@ -187,6 +277,7 @@ let () =
           Alcotest.test_case "nesting" `Quick test_trace_nesting;
           Alcotest.test_case "byte-identical export" `Quick test_trace_byte_identical;
           Alcotest.test_case "engine spans nest" `Quick test_trace_engine_nesting;
+          Alcotest.test_case "dropped count surfaced" `Quick test_trace_dropped_surfaced;
         ] );
       ( "opstats",
         [
@@ -197,6 +288,7 @@ let () =
         [
           Alcotest.test_case "decimation" `Quick test_flight_decimation;
           Alcotest.test_case "disabled no-op" `Quick test_flight_disabled_noop;
+          Alcotest.test_case "faults + migration" `Quick test_flight_faults_migration;
         ] );
       ("histogram", [ Alcotest.test_case "percentile edges" `Quick test_histogram_edges ]);
     ]
