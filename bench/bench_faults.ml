@@ -22,7 +22,7 @@ let scenario ~label ~spec graph ~config ~start =
   ( report,
     [
       label;
-      (if q.Engine.completed = None then "TIMEOUT" else "yes");
+      (if Engine.is_completed q then "yes" else "TIMEOUT");
       ms (Engine.latency_ms q);
       string_of_int (Metrics.packets m);
       string_of_int (Metrics.fault_drops m);

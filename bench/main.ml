@@ -46,6 +46,12 @@ let experiments =
     ( "mc-smoke",
       "Smoke: schedule exploration + protocol mutation catching",
       Bench_mc.smoke );
+    ( "serve",
+      "Service layer: open-loop load, admission control vs baseline",
+      Bench_serve.run );
+    ( "serve-smoke",
+      "Smoke: the query service over every registry engine, sanitizer on",
+      Bench_serve.smoke );
     ("micro", "Microbenchmarks", Bench_micro.run);
     ("smoke", "Smoke: one tiny config through the result pipeline", Harness.smoke);
     ("faults", "Fault sweep: GraphDance under an unreliable network", Bench_faults.run);
@@ -94,7 +100,7 @@ let () =
       (fun (n, _, _) ->
         if
           n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke"
-          && n <> "mc-smoke" && n <> "critpath-smoke"
+          && n <> "mc-smoke" && n <> "critpath-smoke" && n <> "serve-smoke"
         then
           run_one n)
       experiments

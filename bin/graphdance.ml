@@ -457,7 +457,7 @@ let chaos_cmd =
          | exception Invalid_argument message -> Error message
        in
        let q = report.Engine.queries.(0) in
-       (match q.Engine.completed with
+       (match Engine.completed_at q with
        | Some _ ->
          let oracle = Engine.sorted_rows (Local_engine.run graph program) in
          let got = Engine.sorted_rows q.Engine.rows in
@@ -478,7 +478,7 @@ let chaos_cmd =
          (Metrics.abandoned m);
        (* A completed query under an active sanitizer is the whole point:
           faults hit, recovery absorbed them, invariants held. *)
-       match q.Engine.completed with
+       match Engine.completed_at q with
        | Some _ -> Ok ()
        | None when deadline_ms <> None -> Ok ()
        | None -> Error "query did not complete and no deadline was set")
@@ -803,6 +803,116 @@ let ldbc_cmd =
     (Cmd.info "ldbc" ~doc:"Run one pass of the LDBC IC and IS queries")
     Term.(const run $ dataset_arg $ nodes_arg $ workers_arg $ per_query_arg $ repeats_arg)
 
+(* --- serve: open-loop multi-tenant service ----------------------------- *)
+
+let serve_cmd =
+  let module Service = Pstm_service.Service in
+  let module Arrival = Pstm_service.Arrival in
+  let rate_arg =
+    let doc = "Offered load per tenant: Poisson arrival rate in queries/second (simulated)." in
+    Arg.(value & opt float 20_000.0 & info [ "rate" ] ~docv:"QPS" ~doc)
+  in
+  let duration_arg =
+    let doc = "Arrival horizon in simulated milliseconds (queued work still drains after)." in
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"MS" ~doc)
+  in
+  let slo_arg =
+    let doc = "Target p99 latency (the SLO) in simulated milliseconds." in
+    Arg.(value & opt float 1.0 & info [ "slo" ] ~docv:"MS" ~doc)
+  in
+  let tenants_arg =
+    let doc =
+      "Number of tenants; tenant $(i,k) gets weighted-fair weight $(i,k)+1, so shares are \
+       1:2:...:N."
+    in
+    Arg.(value & opt int 2 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let no_admission_arg =
+    let doc = "Disable admission control (the collapse-under-overload baseline)." in
+    Arg.(value & flag & info [ "no-admission" ] ~doc)
+  in
+  let patience_arg =
+    let doc =
+      "Client patience in simulated milliseconds: a query not finished by then is abandoned \
+       (queued: dropped; mid-flight: scoped engine cancellation)."
+    in
+    Arg.(value & opt (some float) None & info [ "patience" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Arrival-process seed (same seed, same run)." in
+    Arg.(value & opt int 0x5e12 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let check_arg =
+    let doc = "Run with the sanitizer on (tracker/memo leak detection under cancellation)." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run dataset text engine nodes workers rate duration slo tenants no_admission patience
+      seed check =
+    to_exit
+      (let ( let* ) = Result.bind in
+       let* graph = load_graph dataset in
+       let* program = compile_query graph text in
+       let config =
+         { Cluster.default_config with Cluster.n_nodes = nodes; workers_per_node = workers }
+       in
+       let* engine = resolve_engine ~config engine in
+       if tenants < 1 then Error "serve: --tenants must be at least 1"
+       else begin
+         let ms_time v = Sim_time.of_float_ns (v *. 1e6) in
+         let patience = Option.map ms_time patience in
+         let service_config =
+           Service.config ~max_inflight:(2 * nodes) ~slo:(ms_time slo)
+             ~admission:(not no_admission) ~headroom:1.5 ~seed ~horizon:(ms_time duration)
+             (Array.init tenants (fun k ->
+                  Service.tenant
+                    ~weight:(float_of_int (k + 1))
+                    ?patience
+                    (Arrival.Poisson { rate_qps = rate })))
+         in
+         let common = { Engine.Common.default with Engine.Common.check } in
+         match
+           Service.run engine ~common ~graph ~config:service_config
+             ~program:(fun ~tenant:_ ~seq:_ -> program)
+             ()
+         with
+         | exception Engine.Check_violation message -> Error ("sanitizer: " ^ message)
+         | r ->
+           Fmt.pr
+             "engine=%s offered=%d admitted=%d shed=%d (%.1f%%) completed=%d cancelled=%d \
+              timed-out=%d@."
+             r.Service.r_engine (Service.offered r) (Service.admitted r) (Service.shed r)
+             (100.0 *. Service.shed_rate r)
+             (Service.completed r) (Service.cancelled r) (Service.timed_out r);
+           Fmt.pr "latency (admitted, ms): mean=%.3f p50=%.3f p99=%.3f  [slo p99 <= %.3f]@."
+             (Service.mean_ms r) (Service.p50_ms r) (Service.p99_ms r) slo;
+           Fmt.pr "%-7s %8s %9s %6s %10s %10s %8s %8s@." "tenant" "offered" "admitted" "shed"
+             "completed" "cancelled" "p50-ms" "p99-ms";
+           Array.iteri
+             (fun i ts ->
+               Fmt.pr "%-7d %8d %9d %6d %10d %10d %8.3f %8.3f@." i ts.Service.ts_offered
+                 ts.Service.ts_admitted ts.Service.ts_shed ts.Service.ts_completed
+                 ts.Service.ts_cancelled ts.Service.ts_p50_ms ts.Service.ts_p99_ms)
+             r.Service.r_per_tenant;
+           Ok ()
+       end)
+  in
+  let query_arg =
+    let doc = "Gremlin query every tenant issues (default: a 2-hop neighborhood count)." in
+    Arg.(
+      value
+      & opt string "g.V().has('id', 1).out().out().count()"
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run an open-loop multi-tenant query service: weighted-fair scheduling, admission \
+          control with load shedding, scoped cancellation")
+    Term.(
+      const run $ dataset_arg $ query_arg $ engine_arg $ nodes_arg $ workers_arg $ rate_arg
+      $ duration_arg $ slo_arg $ tenants_arg $ no_admission_arg $ patience_arg $ seed_arg
+      $ check_arg)
+
 let () =
   let info =
     Cmd.info "graphdance" ~version:"1.0.0"
@@ -813,5 +923,5 @@ let () =
        (Cmd.group info
           [
             datasets_cmd; query_cmd; explain_cmd; trace_cmd; why_cmd; chaos_cmd; mc_cmd;
-            repartition_cmd; ldbc_cmd; verify_cmd;
+            repartition_cmd; ldbc_cmd; serve_cmd; verify_cmd;
           ]))

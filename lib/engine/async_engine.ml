@@ -135,8 +135,11 @@ type query_state = {
   qid : int;
   program : Program.t;
   coordinator : int;
+  tenant : int;
+  priority : int;
   submitted : Sim_time.t;
-  mutable completed : Sim_time.t option;
+  mutable outcome : Engine.outcome option; (* None while still live *)
+  mutable launched : bool; (* the submit event ran (trackers registered) *)
   trackers : Progress.tracker array; (* one per phase *)
   touched : Bitset.t; (* workers that executed a traverser (first-touch) *)
   fl_weight : Pstm_obs.Flight.handle array; (* per-phase weight trajectory *)
@@ -173,8 +176,13 @@ type worker = {
   cz_coalesce : (int * int, int) Hashtbl.t;
 }
 
-let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_config
-    ~channel_config ~graph (submissions : Engine.submission array) =
+(* Build an open engine session ({!Engine.service_handle}): all state is
+   captured in the returned closures, so [run] below is a thin
+   submit-all/drive/finish wrapper and the service layer can drive the
+   same machinery with feedback (incremental submission, scoped
+   cancellation) instead of a closed submission array. *)
+let create ?(options = default_options) ?(common = Engine.Common.default) ~cluster_config
+    ~channel_config ~graph () =
   let obs = common.Engine.Common.obs in
   let check = common.Engine.Common.check in
   let deadline = common.Engine.Common.deadline in
@@ -291,6 +299,9 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   let cz_on = Pstm_obs.Causal.enabled causal in
   let inflight = ref 0 in
   (* dispatched but not yet executed traversers *)
+  (* Service callback: fired once per query at its terminal transition
+     (completion, per-query timeout, or scoped cancellation). *)
+  let on_terminal : (int -> Engine.outcome -> unit) ref = ref (fun _ _ -> ()) in
   if obs_on then
     Cluster.set_packet_hook cluster
       (Some
@@ -715,6 +726,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         (fun (qid, phase, weight) ->
           match Hashtbl.find_opt queries qid with
           | None -> ()
+          | Some q when not q.active -> () (* cancelled: weight reclaimed, not tracked *)
           | Some q ->
             (* Coalescer dwell shows up as a Tracker segment: the flush
                node sits between the last contributing execution and the
@@ -782,7 +794,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     | None -> complete_query ~at ~cz w q
   and complete_query ~at ?(cz = -1) w q =
     let released_at = max at (Cluster.now cluster) in
-    q.completed <- Some released_at;
+    q.outcome <- Some (Engine.Completed released_at);
     q.active <- false;
     if cz_on then begin
       (* Terminal node: the walk back from here along binding edges is the
@@ -808,6 +820,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
         Sim_time.add !cost
           (send ~at ~src:w.id ~dst ~kind:Metrics.Control_msg (P_cleanup { qid = q.qid }))
     done;
+    !on_terminal q.qid (Engine.Completed released_at);
     !cost
   (* ---- Task execution --------------------------------------------------- *)
   and process w ~at payload =
@@ -939,11 +952,16 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     | P_progress { qid; phase; weight; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
+      (* A cancelled / timed-out query's straggling weight is dropped:
+         its trackers are already released (timeout), so feeding them
+         would re-trigger completion machinery on a dead query. *)
+      | Some q when not q.active -> Sim_time.zero
       | Some q -> tracker_receive ~at ~cz w q phase weight
     end
     | P_agg_flush { qid; agg_step; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
+      | Some q when not q.active -> Sim_time.zero
       | Some q ->
         let partial = Memo.partial_opt w.memo ~qid ~label:agg_step in
         let cz =
@@ -963,6 +981,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     | P_agg_partial { qid; agg_step; partial; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
+      | Some q when not q.active -> Sim_time.zero
       | Some q ->
         assert (q.combine_step = agg_step);
         (match partial, q.combine_acc with
@@ -1014,6 +1033,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
          (plus its channels) in this worker before execution can start. *)
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
+      | Some q when not q.active -> Sim_time.zero
       | Some q ->
         let instantiate = 8 * Program.n_steps q.program * costs.Cluster.operator_sched in
         let cz =
@@ -1031,6 +1051,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
     | P_setup_ack { qid; cz } -> begin
       match Hashtbl.find_opt queries qid with
       | None -> Sim_time.zero
+      | Some q when not q.active -> Sim_time.zero
       | Some q ->
         q.setup_acks <- q.setup_acks - 1;
         if q.setup_acks = 0 then begin
@@ -1481,37 +1502,77 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
   in
   channel_ref :=
     Some (Channel.create cluster channel_config ~dummy:(P_cleanup { qid = -1 }) ~deliver);
-  (* --- Submit the queries --------------------------------------------- *)
-  Array.iteri
-    (fun qid (s : Engine.submission) ->
-      let program = s.Engine.program in
-      let q =
-        {
-          qid;
-          program;
-          coordinator = qid mod n_workers;
-          submitted = s.Engine.at;
-          completed = None;
-          trackers =
-            Array.init (Program.n_phases program) (fun _ -> Progress.tracker ~target:Weight.root);
-          touched = Bitset.create n_workers;
-          fl_weight =
-            Array.init (Program.n_phases program) (fun phase ->
-                Pstm_obs.Flight.series flight (Printf.sprintf "q%d.phase%d.weight" qid phase));
-          combine_step = -1;
-          combine_expected = 0;
-          combine_received = 0;
-          combine_acc = None;
-          rows = Vec.create ~dummy:[||];
-          active = true;
-          setup_acks = 0;
-        }
-      in
-      Hashtbl.add queries qid q;
-      Event_queue.schedule_at events ~time:s.Engine.at (fun () ->
+  (* --- Scoped cancellation ---------------------------------------------
+     The per-query generalization of the PR 3 deadline path: instead of
+     "the whole run hit its deadline", "this query is done now". The
+     query flips inactive (in-flight traversers die on arrival, straggler
+     weights drop at flush), incomplete phase trackers time out, and
+     every worker's memo entries for the query are reclaimed — so the
+     end-of-run sanitizer's memo-emptiness invariant holds through
+     mid-flight cancellation. *)
+  let terminate ~at qid outcome =
+    let q = query qid in
+    if q.outcome = None then begin
+      q.outcome <- Some outcome;
+      q.active <- false;
+      if q.launched then begin
+        active_op_count := !active_op_count - Program.n_steps q.program;
+        n_active := !n_active - 1;
+        Array.iteri
+          (fun phase tr ->
+            if not (Progress.is_complete tr) then tracker_event "timeout" ~qid ~phase)
+          q.trackers
+      end;
+      Array.iter (fun w -> Memo.clear_query w.memo qid) workers;
+      if obs_on then
+        Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid)
+          ~name:(Engine.outcome_name outcome) ~ts:at ();
+      !on_terminal qid outcome
+    end
+  in
+  (* --- Submission ------------------------------------------------------ *)
+  let next_qid = ref 0 in
+  let submit_sub (s : Engine.submission) =
+    let qid = !next_qid in
+    incr next_qid;
+    let program = s.Engine.program in
+    let q =
+      {
+        qid;
+        program;
+        coordinator = qid mod n_workers;
+        tenant = s.Engine.tenant;
+        priority = s.Engine.priority;
+        submitted = s.Engine.at;
+        outcome = None;
+        launched = false;
+        trackers =
+          Array.init (Program.n_phases program) (fun _ -> Progress.tracker ~target:Weight.root);
+        touched = Bitset.create n_workers;
+        fl_weight =
+          Array.init (Program.n_phases program) (fun phase ->
+              Pstm_obs.Flight.series flight (Printf.sprintf "q%d.phase%d.weight" qid phase));
+        combine_step = -1;
+        combine_expected = 0;
+        combine_received = 0;
+        combine_acc = None;
+        rows = Vec.create ~dummy:[||];
+        active = true;
+        setup_acks = 0;
+      }
+    in
+    Hashtbl.add queries qid q;
+    (* A submission whose arrival is already in the past (a service
+       dispatching a queued query) launches immediately; latency still
+       measures from [s.at], so queue wait counts against the SLO. *)
+    let launch_at = max (Event_queue.now events) s.Engine.at in
+    Event_queue.schedule_at events ~time:launch_at (fun () ->
+        if q.outcome <> None then () (* cancelled before it ever launched *)
+        else begin
+          q.launched <- true;
           if obs_on then
             Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid) ~name:"submit"
-              ~ts:s.Engine.at
+              ~ts:launch_at
               ~args:
                 [
                   ("query", Pstm_obs.Trace.S (Program.name program));
@@ -1526,7 +1587,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           let cz_sub =
             if not cz_on then -1
             else begin
-              let s0 = Pstm_obs.Causal.node causal ~qid ~name:"submit" ~ts:s.Engine.at in
+              let s0 = Pstm_obs.Causal.node causal ~qid ~name:"submit" ~ts:launch_at in
               Pstm_obs.Causal.set_submit causal ~qid s0;
               s0
             end
@@ -1535,7 +1596,7 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
           | Graphdance ->
             (* PSTM programs need no deployment: traversers carry their
                step index and workers interpret the shared plan. *)
-            launch_entries ~at:s.Engine.at ~cz:cz_sub q
+            launch_entries ~at:launch_at ~cz:cz_sub q
           | Banyan_like | Gaia_like ->
             (* Dataflow engines deploy the operator graph to every worker
                and wait for acknowledgements before execution begins —
@@ -1544,86 +1605,128 @@ let run ?(options = default_options) ?(common = Engine.Common.default) ~cluster_
             q.setup_acks <- n_workers;
             for dst = 0 to n_workers - 1 do
               deliver dst (P_setup { qid; cz = cz_sub })
-            done))
-    submissions;
-  (* --- Run ------------------------------------------------------------- *)
-  (match deadline with
-  | Some time ->
-    Event_queue.run_until events ~time;
-    (* Drop whatever is still in flight: those queries report as timeouts. *)
-    ()
-  | None -> Event_queue.run_to_completion events);
-  (* Graceful degradation: when delivery was cut short — a deadline
-     truncated the run, or the reliable channel abandoned a packet after
-     max retries — some queries end unfinished and some in-flight
-     P_cleanup broadcasts never land. Those queries report TIMEOUT; here
-     the coordinator reclaims their state so nothing wedges the tracker
-     or leaks memo entries into the next run. The loop walks qids in
-     order (not the hashtable) to stay deterministic. *)
-  let abandoned = Metrics.abandoned metrics > 0 in
-  if deadline <> None || abandoned then
-    for qid = 0 to Array.length submissions - 1 do
-      let q = query qid in
-      if q.completed = None then begin
-        q.active <- false;
-        Array.iteri
-          (fun phase tr -> if not (Progress.is_complete tr) then tracker_event "timeout" ~qid ~phase)
-          q.trackers
-      end;
-      Array.iter (fun w -> Memo.clear_query w.memo qid) workers
-    done;
-  (* Sanitizer post-conditions. Termination of every query only holds
-     when delivery ran to completion (no deadline, nothing abandoned) —
-     the reliable channel makes it hold even under drop/dup/delay
-     faults. Memo emptiness holds always, thanks to the reclaim above. *)
-  if check then begin
-    if deadline = None && not abandoned then begin
-      for qid = 0 to Array.length submissions - 1 do
+            done
+        end);
+    (match s.Engine.deadline with
+    | None -> ()
+    | Some d ->
+      (* The query's own latency budget: past [at + d] it is cut off as
+         Timed_out — the scoped form of the run-level deadline. *)
+      let t = max launch_at (Sim_time.add s.Engine.at d) in
+      Event_queue.schedule_at events ~time:t (fun () -> terminate ~at:t qid Engine.Timed_out));
+    qid
+  in
+  (* --- Drive / finish --------------------------------------------------- *)
+  let drive ~until =
+    match (until, deadline) with
+    | None, None -> Event_queue.run_to_completion events
+    | None, Some t | Some t, None -> Event_queue.run_until events ~time:t
+    | Some t, Some d -> Event_queue.run_until events ~time:(min t d)
+  in
+  let finish () =
+    let n_queries = !next_qid in
+    (* Graceful degradation: when delivery was cut short — a deadline
+       truncated the run, or the reliable channel abandoned a packet after
+       max retries — some queries end unfinished and some in-flight
+       P_cleanup broadcasts never land. Those queries report TIMEOUT; here
+       the coordinator reclaims their state so nothing wedges the tracker
+       or leaks memo entries into the next run. The loop walks qids in
+       order (not the hashtable) to stay deterministic. *)
+    let abandoned = Metrics.abandoned metrics > 0 in
+    if deadline <> None || abandoned then
+      for qid = 0 to n_queries - 1 do
         let q = query qid in
-        if q.completed = None then
-          Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
-            qid
+        if q.outcome = None then begin
+          q.outcome <- Some Engine.Timed_out;
+          q.active <- false;
+          Array.iteri
+            (fun phase tr ->
+              if not (Progress.is_complete tr) then tracker_event "timeout" ~qid ~phase)
+            q.trackers;
+          !on_terminal qid Engine.Timed_out
+        end;
+        Array.iter (fun w -> Memo.clear_query w.memo qid) workers
       done;
-      (* Every protocol-monitor instance must have reached a terminal
-         state: packets acked, migrations installed, trackers released. *)
-      List.iter
-        (fun mon ->
-          match mon with
-          | None -> ()
-          | Some mon -> begin
-            match Protocol.finish mon with
+    (* Sanitizer post-conditions. Termination of every query only holds
+       when delivery ran to completion (no deadline, nothing abandoned) —
+       the reliable channel makes it hold even under drop/dup/delay
+       faults; queries cancelled or timed out per-query are terminal by
+       construction. Memo emptiness holds always, thanks to the scoped
+       reclaim at each terminal transition. *)
+    if check then begin
+      if deadline = None && not abandoned then begin
+        for qid = 0 to n_queries - 1 do
+          let q = query qid in
+          if q.outcome = None then
+            Engine.check_fail "async: query %d never terminated (weight lost or tracker wedged)"
+              qid
+        done;
+        (* Every protocol-monitor instance must have reached a terminal
+           state: packets acked, migrations installed, trackers released. *)
+        List.iter
+          (fun mon ->
+            match mon with
             | None -> ()
-            | Some why -> Engine.check_fail "async: %s" why
-          end)
-        [ mon_channel; mon_migration; mon_tracker ]
+            | Some mon -> begin
+              match Protocol.finish mon with
+              | None -> ()
+              | Some why -> Engine.check_fail "async: %s" why
+            end)
+          [ mon_channel; mon_migration; mon_tracker ]
+      end;
+      Array.iter
+        (fun w ->
+          let n = Memo.live_entries w.memo in
+          if n > 0 then
+            Engine.check_fail
+              "async: worker %d holds %d memo entries after all queries completed" w.id n)
+        workers
     end;
-    Array.iter
-      (fun w ->
-        let n = Memo.live_entries w.memo in
-        if n > 0 then
-          Engine.check_fail "async: worker %d holds %d memo entries after all queries completed"
-            w.id n)
-      workers
-  end;
-  (* Surface ring truncation: a trace that silently dropped events would
-     otherwise read as a complete record. *)
-  if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
-  let reports =
-    Array.init (Array.length submissions) (fun qid ->
-        let q = query qid in
-        {
-          Engine.qid;
-          name = Program.name q.program;
-          submitted = q.submitted;
-          completed = q.completed;
-          rows = Vec.to_list q.rows;
-        })
+    (* Surface ring truncation: a trace that silently dropped events would
+       otherwise read as a complete record. *)
+    if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
+    let reports =
+      Array.init n_queries (fun qid ->
+          let q = query qid in
+          {
+            Engine.qid;
+            name = Program.name q.program;
+            tenant = q.tenant;
+            priority = q.priority;
+            submitted = q.submitted;
+            outcome = (match q.outcome with Some o -> o | None -> Engine.Timed_out);
+            rows = Vec.to_list q.rows;
+          })
+    in
+    {
+      Engine.engine = flavor_name options.flavor;
+      queries = reports;
+      makespan = Cluster.now cluster;
+      metrics;
+      events = Event_queue.executed events;
+      worker_busy = Array.map (fun w -> w.busy_total) workers;
+    }
   in
   {
-    Engine.engine = flavor_name options.flavor;
-    queries = reports;
-    makespan = Cluster.now cluster;
-    metrics;
-    events = Event_queue.executed events;
-    worker_busy = Array.map (fun w -> w.busy_total) workers;
+    Engine.sh_name = flavor_name options.flavor;
+    sh_submit = submit_sub;
+    sh_cancel =
+      (fun ~qid ~at ->
+        let t = max at (Event_queue.now events) in
+        Event_queue.schedule_at events ~time:t (fun () -> terminate ~at:t qid Engine.Cancelled));
+    sh_at =
+      (fun t f -> Event_queue.schedule_at events ~time:(max t (Event_queue.now events)) f);
+    sh_now = (fun () -> Event_queue.now events);
+    sh_on_terminal = (fun f -> on_terminal := f);
+    sh_drive = drive;
+    sh_finish = finish;
   }
+
+let start ?options ?common ~cluster_config ~channel_config ~graph () =
+  create ?options ?common ~cluster_config ~channel_config ~graph ()
+
+let run ?options ?common ~cluster_config ~channel_config ~graph
+    (submissions : Engine.submission array) =
+  Engine.run_via_start
+    (fun ?common ~graph () -> create ?options ?common ~cluster_config ~channel_config ~graph ())
+    ?common ~graph submissions

@@ -78,3 +78,26 @@ val run :
   graph:Graph.t ->
   Engine.submission array ->
   Engine.report
+
+(** Open a service session on the engine (see {!Engine.service_handle}):
+    the query service layer submits, cancels and observes completions
+    while the simulation runs, instead of handing over a closed array.
+    [run] is [create] + submit-all + drive-to-completion + finish, so the
+    two entry points cannot drift. *)
+val create :
+  ?options:options ->
+  ?common:Engine.Common.t ->
+  cluster_config:Cluster.config ->
+  channel_config:Channel.config ->
+  graph:Graph.t ->
+  unit ->
+  Engine.service_handle
+
+val start :
+  ?options:options ->
+  ?common:Engine.Common.t ->
+  cluster_config:Cluster.config ->
+  channel_config:Channel.config ->
+  graph:Graph.t ->
+  unit ->
+  Engine.service_handle

@@ -16,14 +16,20 @@
    Multiple in-flight queries share supersteps; a query arriving between
    barriers waits for the next one, which is also faithful to synchronous
    engines. Timing is closed-form per superstep (max compute + bulk
-   transfer + barrier), so no event queue is needed. *)
+   transfer + barrier), so no event queue is needed — which means the
+   service surface (submit/cancel/at) runs at barrier granularity: a
+   caller event scheduled for time [t] fires at the first barrier whose
+   clock is past [t], exactly like a query arriving between barriers. *)
 
 type query_state = {
   qid : int;
   program : Program.t;
   coordinator : int;
+  tenant : int;
+  priority : int;
   submitted : Sim_time.t;
-  mutable completed : Sim_time.t option;
+  deadline_at : Sim_time.t option; (* absolute: submitted + per-query budget *)
+  mutable outcome : Engine.outcome option;
   mutable live : int; (* traversers of this query in frontiers *)
   mutable phase : int;
   rows : Value.t array Vec.t;
@@ -49,8 +55,7 @@ type profile =
 
 let profile_name = function Ablation -> "bsp-ablation" | Tigergraph_role -> "tigergraph-role"
 
-let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config ~graph
-    (submissions : Engine.submission array) =
+let create ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config ~graph () =
   let obs = common.Engine.Common.obs in
   let check = common.Engine.Common.check in
   let deadline = common.Engine.Common.deadline in
@@ -77,23 +82,19 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
   let members = Array.init n_workers (fun w -> lazy (Partition.members partition w)) in
   let frontier = Array.init n_workers (fun _ -> Queue.create ()) in
   let next_frontier = Array.init n_workers (fun _ -> Queue.create ()) in
-  let queries =
-    Array.mapi
-      (fun qid (s : Engine.submission) ->
-        {
-          qid;
-          program = s.Engine.program;
-          coordinator = qid mod n_workers;
-          submitted = s.Engine.at;
-          completed = None;
-          live = 0;
-          phase = 0;
-          rows = Vec.create ~dummy:[||];
-          started = false;
-          touched = Bitset.create (Cluster.n_workers cluster);
-        })
-      submissions
+  let queries : (int, query_state) Hashtbl.t = Hashtbl.create 64 in
+  let next_qid = ref 0 in
+  let query qid =
+    match Hashtbl.find_opt queries qid with
+    | Some q -> q
+    | None -> Fmt.invalid_arg "bsp: unknown query %d" qid
   in
+  let iter_queries f =
+    for qid = 0 to !next_qid - 1 do
+      f (query qid)
+    done
+  in
+  let on_terminal : (int -> Engine.outcome -> unit) ref = ref (fun _ _ -> ()) in
   let fl_frontier =
     Array.init n_workers (fun i -> Pstm_obs.Flight.series flight (Printf.sprintf "worker%d.queue" i))
   in
@@ -102,6 +103,33 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
   in
   let fl_live = Pstm_obs.Flight.series flight "inflight" in
   let clock = ref Sim_time.zero in
+  (* Caller events (service layer arrivals / cancellations / timers),
+     kept sorted by (time, insertion seq) for determinism and fired at
+     barrier granularity. *)
+  let sv_seq = ref 0 in
+  let sv_events : (Sim_time.t * int * (unit -> unit)) list ref = ref [] in
+  let sv_add t f =
+    let t = max t !clock in
+    let e = (t, !sv_seq, f) in
+    incr sv_seq;
+    let rec ins = function
+      | [] -> [ e ]
+      | ((t', _, _) as hd) :: tl ->
+        if Sim_time.compare t t' < 0 then e :: hd :: tl else hd :: ins tl
+    in
+    sv_events := ins !sv_events
+  in
+  let fire_service () =
+    let rec go () =
+      match !sv_events with
+      | (t, _, f) :: tl when Sim_time.compare t !clock <= 0 ->
+        sv_events := tl;
+        f ();
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
   let route q (trav : Traverser.t) =
     let step = Program.step q.program trav.step in
     match Step.routing step.Step.op with
@@ -113,10 +141,25 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
       | v -> Value.hash v mod n_workers
     end
   in
+  (* Scoped termination: the query stops consuming supersteps (its
+     remaining frontier tasks are skipped on pop) and its memo entries
+     are reclaimed immediately, so the end-of-run memo-emptiness
+     invariant holds through mid-flight cancellation. *)
+  let terminate qid outcome =
+    let q = query qid in
+    if q.outcome = None then begin
+      q.outcome <- Some outcome;
+      Array.iter (fun memo -> Memo.clear_query memo qid) memos;
+      if obs_on then
+        Pstm_obs.Trace.instant trace ~tid:(Engine.query_track qid)
+          ~name:(Engine.outcome_name outcome) ~ts:!clock ();
+      !on_terminal qid outcome
+    end
+  in
   let admit_pending () =
-    Array.iter
-      (fun q ->
-        if (not q.started) && Sim_time.compare q.submitted !clock <= 0 then begin
+    iter_queries (fun q ->
+        if (not q.started) && q.outcome = None && Sim_time.compare q.submitted !clock <= 0
+        then begin
           q.started <- true;
           if obs_on then
             Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"submit"
@@ -142,14 +185,24 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
                 q.live <- q.live + 1)
             (Program.entries q.program)
         end)
-      queries
   in
-  let next_arrival () =
-    Array.fold_left
-      (fun acc q ->
-        if q.started then acc
-        else match acc with None -> Some q.submitted | Some t -> Some (min t q.submitted))
-      None queries
+  (* Per-query latency budgets expire at barrier granularity too: the
+     first barrier past [submitted + deadline] cuts the query off. *)
+  let expire_deadlines () =
+    iter_queries (fun q ->
+        match q.deadline_at with
+        | Some t when q.outcome = None && Sim_time.compare t !clock <= 0 ->
+          terminate q.qid Engine.Timed_out
+        | _ -> ())
+  in
+  let next_wake () =
+    let acc = ref None in
+    let consider t =
+      match !acc with None -> acc := Some t | Some t' -> acc := Some (min t t')
+    in
+    iter_queries (fun q -> if (not q.started) && q.outcome = None then consider q.submitted);
+    (match !sv_events with [] -> () | (t, _, _) :: _ -> consider t);
+    !acc
   in
   let frontiers_empty () = Array.for_all Queue.is_empty frontier in
   (* One superstep. Returns unit; advances [clock]. *)
@@ -164,21 +217,16 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
     | Tigergraph_role -> Sim_time.us 6
   in
   let scheduling_overhead () =
-    let live_ops =
-      Array.fold_left
-        (fun acc q ->
-          if q.started && q.completed = None then acc + Program.n_steps q.program else acc)
-        0 queries
-    in
+    let live_ops = ref 0 in
+    let live_queries = ref 0 in
+    iter_queries (fun q ->
+        if q.started && q.outcome = None then begin
+          live_ops := !live_ops + Program.n_steps q.program;
+          incr live_queries
+        end);
     match profile with
-    | Ablation -> live_ops * costs.Cluster.operator_sched
-    | Tigergraph_role ->
-      let live_queries =
-        Array.fold_left
-          (fun acc q -> if q.started && q.completed = None then acc + 1 else acc)
-          0 queries
-      in
-      live_queries * per_query_sched
+    | Ablation -> !live_ops * costs.Cluster.operator_sched
+    | Tigergraph_role -> !live_queries * per_query_sched
   in
   let busy_total = Array.make n_workers Sim_time.zero in
   let superstep_idx = ref 0 in
@@ -186,8 +234,9 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
     Metrics.count_superstep metrics;
     let clock0 = !clock in
     if obs_on then begin
-      let live = Array.fold_left (fun acc q -> acc + q.live) 0 queries in
-      Pstm_obs.Flight.sample flight fl_live ~time:clock0 (float_of_int live);
+      let live = ref 0 in
+      iter_queries (fun q -> live := !live + q.live);
+      Pstm_obs.Flight.sample flight fl_live ~time:clock0 (float_of_int !live);
       for w = 0 to n_workers - 1 do
         Pstm_obs.Flight.sample flight fl_frontier.(w) ~time:clock0
           (float_of_int (Queue.length frontier.(w)));
@@ -208,53 +257,57 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
       let elapsed = ref compute.(w) in
       while not (Queue.is_empty frontier.(w)) do
         let { t_qid; trav } = Queue.pop frontier.(w) in
-        let q = queries.(t_qid) in
+        let q = query t_qid in
         q.live <- q.live - 1;
-        if obs_on && Bitset.add_if_absent q.touched w then
-          Pstm_obs.Trace.instant trace ~tid:(Engine.query_track t_qid) ~name:"first_touch"
-            ~ts:clock0
-            ~args:[ ("worker", Pstm_obs.Trace.I w) ]
-            ();
-        Metrics.count_step metrics;
-        let outcome = Exec.exec ~graph ~memo ~prng ~qid:t_qid ~program:q.program ~scan trav in
-        if check && not (Exec.conserves trav outcome) then
-          Engine.check_fail "bsp: query %d step %d (%s) broke weight conservation" t_qid
-            trav.Traverser.step
-            (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
-        Metrics.count_edges metrics outcome.Exec.edges_scanned;
-        let step_cost = interpretation_scale * Exec.cost costs outcome in
-        if obs_on then
-          Pstm_obs.Opstats.record opstats ~step:trav.Traverser.step
-            ~out:(List.length outcome.Exec.spawns)
-            ~rows:(List.length outcome.Exec.rows)
-            ~finished:(not (Weight.is_zero outcome.Exec.finished))
-            ~edges:outcome.Exec.edges_scanned ~memo_hits:outcome.Exec.memo_hits
-            ~memo_misses:outcome.Exec.memo_misses ~busy_ns:(Sim_time.to_ns step_cost);
-        elapsed := Sim_time.add !elapsed step_cost;
-        List.iter
-          (fun child ->
-            Metrics.count_spawn metrics;
-            q.live <- q.live + 1;
-            let dst = route q child in
-            if dst = w then
-              (* Same worker: keep chaining inside this superstep. *)
-              Queue.add { t_qid; trav = child } frontier.(w)
-            else begin
-              let kind =
-                match (Program.step q.program child.Traverser.step).Step.op with
-                | Step.Emit _ -> Metrics.Result_msg
-                | _ -> Metrics.Traverser_msg
-              in
-              let bytes = 8 + Traverser.bytes child in
-              Metrics.count_message metrics kind bytes;
-              let sn = Cluster.node_of_worker cluster w in
-              let dn = Cluster.node_of_worker cluster dst in
-              if sn = dn then Metrics.count_local_message metrics
-              else msg_bytes.(sn).(dn) <- msg_bytes.(sn).(dn) + bytes;
-              Queue.add { t_qid; trav = child } next_frontier.(dst)
-            end)
-          outcome.Exec.spawns;
-        List.iter (fun (row, _weight) -> Vec.push q.rows row) outcome.Exec.rows
+        (* Tasks of a cancelled / timed-out query die here: popped but
+           not executed, so a terminated query consumes no more steps. *)
+        if q.outcome = None then begin
+          if obs_on && Bitset.add_if_absent q.touched w then
+            Pstm_obs.Trace.instant trace ~tid:(Engine.query_track t_qid) ~name:"first_touch"
+              ~ts:clock0
+              ~args:[ ("worker", Pstm_obs.Trace.I w) ]
+              ();
+          Metrics.count_step metrics;
+          let outcome = Exec.exec ~graph ~memo ~prng ~qid:t_qid ~program:q.program ~scan trav in
+          if check && not (Exec.conserves trav outcome) then
+            Engine.check_fail "bsp: query %d step %d (%s) broke weight conservation" t_qid
+              trav.Traverser.step
+              (Step.op_name (Program.step q.program trav.Traverser.step).Step.op);
+          Metrics.count_edges metrics outcome.Exec.edges_scanned;
+          let step_cost = interpretation_scale * Exec.cost costs outcome in
+          if obs_on then
+            Pstm_obs.Opstats.record opstats ~step:trav.Traverser.step
+              ~out:(List.length outcome.Exec.spawns)
+              ~rows:(List.length outcome.Exec.rows)
+              ~finished:(not (Weight.is_zero outcome.Exec.finished))
+              ~edges:outcome.Exec.edges_scanned ~memo_hits:outcome.Exec.memo_hits
+              ~memo_misses:outcome.Exec.memo_misses ~busy_ns:(Sim_time.to_ns step_cost);
+          elapsed := Sim_time.add !elapsed step_cost;
+          List.iter
+            (fun child ->
+              Metrics.count_spawn metrics;
+              q.live <- q.live + 1;
+              let dst = route q child in
+              if dst = w then
+                (* Same worker: keep chaining inside this superstep. *)
+                Queue.add { t_qid; trav = child } frontier.(w)
+              else begin
+                let kind =
+                  match (Program.step q.program child.Traverser.step).Step.op with
+                  | Step.Emit _ -> Metrics.Result_msg
+                  | _ -> Metrics.Traverser_msg
+                in
+                let bytes = 8 + Traverser.bytes child in
+                Metrics.count_message metrics kind bytes;
+                let sn = Cluster.node_of_worker cluster w in
+                let dn = Cluster.node_of_worker cluster dst in
+                if sn = dn then Metrics.count_local_message metrics
+                else msg_bytes.(sn).(dn) <- msg_bytes.(sn).(dn) + bytes;
+                Queue.add { t_qid; trav = child } next_frontier.(dst)
+              end)
+            outcome.Exec.spawns;
+          List.iter (fun (row, _weight) -> Vec.push q.rows row) outcome.Exec.rows
+        end
       done;
       compute.(w) <- !elapsed;
       if obs_on && Sim_time.compare !elapsed Sim_time.zero > 0 then
@@ -326,9 +379,8 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
   (* Phase transitions happen at barriers: a query whose traversers all
      died either combines its pending aggregate or is complete. *)
   let handle_phase_boundaries () =
-    Array.iter
-      (fun q ->
-        if q.started && q.completed = None && q.live = 0 then begin
+    iter_queries (fun q ->
+        if q.started && q.outcome = None && q.live = 0 then begin
           match Program.agg_of_phase q.program q.phase with
           | Some agg_step ->
             let step = Program.step q.program agg_step in
@@ -361,7 +413,7 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
             q.live <- 1;
             Queue.add { t_qid = q.qid; trav = cont } frontier.(route q cont)
           | None ->
-            q.completed <- Some !clock;
+            q.outcome <- Some (Engine.Completed !clock);
             if obs_on then
               Pstm_obs.Trace.instant trace ~tid:(Engine.query_track q.qid) ~name:"complete"
                 ~ts:!clock
@@ -371,72 +423,134 @@ let run ?(profile = Ablation) ?(common = Engine.Common.default) ~cluster_config 
                     ("workers_touched", Pstm_obs.Trace.I (Bitset.count q.touched));
                   ]
                 ();
-            Array.iter (fun memo -> Memo.clear_query memo q.qid) memos
+            Array.iter (fun memo -> Memo.clear_query memo q.qid) memos;
+            !on_terminal q.qid (Engine.Completed !clock)
         end)
-      queries
   in
-  let past_deadline () =
-    match deadline with None -> false | Some d -> Sim_time.compare !clock d > 0
+  let submit_sub (s : Engine.submission) =
+    let qid = !next_qid in
+    incr next_qid;
+    Hashtbl.add queries qid
+      {
+        qid;
+        program = s.Engine.program;
+        coordinator = qid mod n_workers;
+        tenant = s.Engine.tenant;
+        priority = s.Engine.priority;
+        submitted = s.Engine.at;
+        deadline_at = Option.map (fun d -> Sim_time.add s.Engine.at d) s.Engine.deadline;
+        outcome = None;
+        live = 0;
+        phase = 0;
+        rows = Vec.create ~dummy:[||];
+        started = false;
+        touched = Bitset.create n_workers;
+      };
+    qid
   in
-  let all_done () = Array.for_all (fun q -> q.completed <> None) queries in
-  admit_pending ();
-  let continue = ref true in
-  while !continue do
-    if past_deadline () then continue := false
-    else if not (frontiers_empty ()) then begin
-      superstep ();
-      admit_pending ();
-      handle_phase_boundaries ()
-    end
-    else if all_done () then continue := false
-    else begin
-      (* Idle: jump to the next query arrival. *)
-      match next_arrival () with
-      | Some t ->
-        clock := max !clock t;
+  let drive ~until =
+    let stop =
+      match (until, deadline) with
+      | None, None -> None
+      | (None, Some t | Some t, None) -> Some t
+      | Some t, Some d -> Some (min t d)
+    in
+    let past_stop () =
+      match stop with None -> false | Some d -> Sim_time.compare !clock d > 0
+    in
+    fire_service ();
+    admit_pending ();
+    expire_deadlines ();
+    let continue = ref true in
+    while !continue do
+      if past_stop () then continue := false
+      else if not (frontiers_empty ()) then begin
+        superstep ();
+        fire_service ();
         admit_pending ();
+        expire_deadlines ();
         handle_phase_boundaries ()
-      | None -> continue := false
-    end
-  done;
-  (* Sanitizer post-conditions (only when the run was not deadline-cut):
-     every query drained its frontiers, and query-scoped memos were
-     cleared at completion. *)
-  if check && deadline = None then begin
-    Array.iter
-      (fun q ->
-        if q.completed = None then
-          Engine.check_fail "bsp: query %d never terminated (live count wedged at %d)" q.qid
-            q.live)
-      queries;
-    Array.iteri
-      (fun w memo ->
-        let n = Memo.live_entries memo in
-        if n > 0 then
-          Engine.check_fail "bsp: worker %d holds %d memo entries after all queries completed" w
-            n)
-      memos
-  end;
-  (* Surface ring truncation: a trace that silently dropped events would
-     otherwise read as a complete record. *)
-  if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
-  let reports =
-    Array.map
-      (fun q ->
-        {
-          Engine.qid = q.qid;
-          name = Program.name q.program;
-          submitted = q.submitted;
-          completed = q.completed;
-          rows = Vec.to_list q.rows;
-        })
-      queries
+      end
+      else begin
+        (* Idle: jump to the next query arrival or caller event. *)
+        match next_wake () with
+        | Some t when (match stop with None -> true | Some s -> Sim_time.compare t s <= 0) ->
+          clock := max !clock t;
+          fire_service ();
+          admit_pending ();
+          expire_deadlines ();
+          handle_phase_boundaries ()
+        | _ -> continue := false
+      end
+    done
+  in
+  let finish () =
+    (* A run cut short by the run-level deadline leaves queries
+       unfinished: they report TIMEOUT with their memos reclaimed, the
+       same graceful degradation as the async engine. *)
+    if deadline <> None then
+      iter_queries (fun q ->
+          if q.outcome = None then begin
+            q.outcome <- Some Engine.Timed_out;
+            Array.iter (fun memo -> Memo.clear_query memo q.qid) memos;
+            !on_terminal q.qid Engine.Timed_out
+          end);
+    (* Sanitizer post-conditions (only when the run was not deadline-cut):
+       every query reached a terminal outcome, and query-scoped memos
+       were cleared at each terminal transition. *)
+    if check && deadline = None then begin
+      iter_queries (fun q ->
+          if q.outcome = None then
+            Engine.check_fail "bsp: query %d never terminated (live count wedged at %d)" q.qid
+              q.live);
+      Array.iteri
+        (fun w memo ->
+          let n = Memo.live_entries memo in
+          if n > 0 then
+            Engine.check_fail "bsp: worker %d holds %d memo entries after all queries completed"
+              w n)
+        memos
+    end;
+    (* Surface ring truncation: a trace that silently dropped events would
+       otherwise read as a complete record. *)
+    if obs_on then Metrics.set_trace_dropped metrics (Pstm_obs.Trace.dropped trace);
+    let reports =
+      Array.init !next_qid (fun qid ->
+          let q = query qid in
+          {
+            Engine.qid = q.qid;
+            name = Program.name q.program;
+            tenant = q.tenant;
+            priority = q.priority;
+            submitted = q.submitted;
+            outcome = (match q.outcome with Some o -> o | None -> Engine.Timed_out);
+            rows = Vec.to_list q.rows;
+          })
+    in
+    {
+      Engine.engine = profile_name profile;
+      queries = reports;
+      makespan = !clock;
+      metrics;
+      events = Metrics.supersteps metrics;
+      worker_busy = busy_total;
+    }
   in
   {
-    Engine.engine = profile_name profile;
-    queries = reports;
-    makespan = !clock;
-    metrics;
-    events = Metrics.supersteps metrics;
-    worker_busy = busy_total;
+    Engine.sh_name = profile_name profile;
+    sh_submit = submit_sub;
+    sh_cancel = (fun ~qid ~at -> sv_add at (fun () -> terminate qid Engine.Cancelled));
+    sh_at = sv_add;
+    sh_now = (fun () -> !clock);
+    sh_on_terminal = (fun f -> on_terminal := f);
+    sh_drive = drive;
+    sh_finish = finish;
   }
+
+let start ?profile ?common ~cluster_config ~graph () =
+  create ?profile ?common ~cluster_config ~graph ()
+
+let run ?profile ?common ~cluster_config ~graph (submissions : Engine.submission array) =
+  Engine.run_via_start
+    (fun ?common ~graph () -> create ?profile ?common ~cluster_config ~graph ())
+    ?common ~graph submissions

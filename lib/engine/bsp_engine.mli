@@ -24,3 +24,24 @@ val run :
   graph:Graph.t ->
   Engine.submission array ->
   Engine.report
+
+(** Open a service session (see {!Engine.service_handle}). The BSP
+    engine has no event queue, so caller events — submissions landing
+    mid-run, cancellations, [sh_at] timers — take effect at barrier
+    granularity: the first barrier whose clock passes the event time.
+    [run] is [create] + submit-all + drive + finish. *)
+val create :
+  ?profile:profile ->
+  ?common:Engine.Common.t ->
+  cluster_config:Cluster.config ->
+  graph:Graph.t ->
+  unit ->
+  Engine.service_handle
+
+val start :
+  ?profile:profile ->
+  ?common:Engine.Common.t ->
+  cluster_config:Cluster.config ->
+  graph:Graph.t ->
+  unit ->
+  Engine.service_handle

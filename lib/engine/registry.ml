@@ -6,27 +6,86 @@
    and benchmarks dispatch purely by name. This module sits outside
    engine.ml because the engines themselves depend on Engine. *)
 
-let local_report (s : Engine.submission array) rows_of =
-  (* The oracle has no clock or cluster; synthesize a report so it fits
-     the common surface (zero metrics, instant completion). *)
+(* The oracle has no clock or cluster; its service handle runs a private
+   event queue where every query completes the instant it launches
+   (zero metrics, queue wait still counts from [at]). A cancellation can
+   therefore only catch a query whose arrival lies in the future; the
+   per-query [deadline] never fires (nothing outlives its own instant). *)
+let local_start ?common ~graph () =
+  let events = Event_queue.create () in
+  let queries : (int, Engine.query_report) Hashtbl.t = Hashtbl.create 16 in
+  let next_qid = ref 0 in
+  let on_terminal : (int -> Engine.outcome -> unit) ref = ref (fun _ _ -> ()) in
+  let query qid =
+    match Hashtbl.find_opt queries qid with
+    | Some q -> q
+    | None -> Fmt.invalid_arg "local: unknown query %d" qid
+  in
+  let set_outcome qid outcome =
+    let q = query qid in
+    if q.Engine.outcome = Engine.Timed_out then begin
+      Hashtbl.replace queries qid { q with Engine.outcome };
+      !on_terminal qid outcome
+    end
+  in
+  let submit (sub : Engine.submission) =
+    let qid = !next_qid in
+    incr next_qid;
+    (* Pending state is encoded as [Timed_out] until the launch event
+       flips it; only the final state ever leaves this handle. *)
+    Hashtbl.add queries qid
+      {
+        Engine.qid;
+        name = Program.name sub.Engine.program;
+        tenant = sub.Engine.tenant;
+        priority = sub.Engine.priority;
+        submitted = sub.Engine.at;
+        outcome = Engine.Timed_out;
+        rows = [];
+      };
+    let at = max sub.Engine.at (Event_queue.now events) in
+    Event_queue.schedule_at events ~time:at (fun () ->
+        let q = query qid in
+        if q.Engine.outcome = Engine.Timed_out then begin
+          let rows = Local_engine.run ?common graph sub.Engine.program in
+          Hashtbl.replace queries qid
+            { q with Engine.outcome = Engine.Completed at; rows };
+          !on_terminal qid (Engine.Completed at)
+        end);
+    qid
+  in
   {
-    Engine.engine = "local";
-    queries =
-      Array.mapi
-        (fun qid (sub : Engine.submission) ->
-          {
-            Engine.qid;
-            name = Program.name sub.Engine.program;
-            submitted = sub.Engine.at;
-            completed = Some sub.Engine.at;
-            rows = rows_of sub;
-          })
-        s;
-    makespan =
-      Array.fold_left (fun acc (sub : Engine.submission) -> max acc sub.Engine.at) Sim_time.zero s;
-    metrics = Metrics.create ();
-    events = 0;
-    worker_busy = [| Sim_time.zero |];
+    Engine.sh_name = "local";
+    sh_submit = submit;
+    sh_cancel =
+      (fun ~qid ~at ->
+        let t = max at (Event_queue.now events) in
+        Event_queue.schedule_at events ~time:t (fun () -> set_outcome qid Engine.Cancelled));
+    sh_at = (fun t f -> Event_queue.schedule_at events ~time:(max t (Event_queue.now events)) f);
+    sh_now = (fun () -> Event_queue.now events);
+    sh_on_terminal = (fun f -> on_terminal := f);
+    sh_drive =
+      (fun ~until ->
+        match until with
+        | None -> Event_queue.run_to_completion events
+        | Some t -> Event_queue.run_until events ~time:t);
+    sh_finish =
+      (fun () ->
+        let reports = Array.init !next_qid query in
+        let makespan =
+          Array.fold_left
+            (fun acc q ->
+              match Engine.completed_at q with None -> acc | Some c -> max acc c)
+            Sim_time.zero reports
+        in
+        {
+          Engine.engine = "local";
+          queries = reports;
+          makespan;
+          metrics = Metrics.create ();
+          events = 0;
+          worker_busy = [| Sim_time.zero |];
+        })
   }
 
 let make ?(cluster_config = Cluster.default_config)
@@ -34,10 +93,13 @@ let make ?(cluster_config = Cluster.default_config)
   let async_flavor flavor : (module Engine.S) =
     (module struct
       let name = Async_engine.flavor_name flavor
+      let options = { Async_engine.default_options with Async_engine.flavor }
 
       let run ?common ~graph submissions =
-        let options = { Async_engine.default_options with Async_engine.flavor } in
         Async_engine.run ~options ?common ~cluster_config ~channel_config ~graph submissions
+
+      let start ?common ~graph () =
+        Async_engine.create ~options ?common ~cluster_config ~channel_config ~graph ()
     end)
   in
   let bsp profile : (module Engine.S) =
@@ -46,25 +108,27 @@ let make ?(cluster_config = Cluster.default_config)
 
       let run ?common ~graph submissions =
         Bsp_engine.run ~profile ?common ~cluster_config ~graph submissions
+
+      let start ?common ~graph () = Bsp_engine.create ~profile ?common ~cluster_config ~graph ()
     end)
   in
   let single_node : (module Engine.S) =
     (module struct
       let name = "single-node"
+      let workers = cluster_config.Cluster.n_nodes * cluster_config.Cluster.workers_per_node
 
       let run ?common ~graph submissions =
-        Single_node_engine.run ?common
-          ~workers:(cluster_config.Cluster.n_nodes * cluster_config.Cluster.workers_per_node)
-          ~base_config:cluster_config ~graph submissions
+        Single_node_engine.run ?common ~workers ~base_config:cluster_config ~graph submissions
+
+      let start ?common ~graph () =
+        Single_node_engine.start ?common ~workers ~base_config:cluster_config ~graph ()
     end)
   in
   let local : (module Engine.S) =
     (module struct
       let name = "local"
-
-      let run ?common ~graph submissions =
-        local_report submissions (fun (sub : Engine.submission) ->
-            Local_engine.run ?common graph sub.Engine.program)
+      let start = local_start
+      let run ?common ~graph submissions = Engine.run_via_start start ?common ~graph submissions
     end)
   in
   [

@@ -10,3 +10,14 @@ val run :
   graph:Graph.t ->
   Engine.submission array ->
   Engine.report
+
+(** Open a service session (see {!Engine.service_handle}); the async
+    handle with the single-node topology and cost discount applied. *)
+val start :
+  ?common:Engine.Common.t ->
+  ?memory_capacity:int ->
+  workers:int ->
+  base_config:Cluster.config ->
+  graph:Graph.t ->
+  unit ->
+  Engine.service_handle

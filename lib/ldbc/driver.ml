@@ -81,7 +81,7 @@ let summarize_mixed ~tcr report =
   let issued = Array.length report.Engine.queries in
   let completed =
     Array.fold_left
-      (fun n (q : Engine.query_report) -> if q.Engine.completed <> None then n + 1 else n)
+      (fun n (q : Engine.query_report) -> if Engine.is_completed q then n + 1 else n)
       0 report.Engine.queries
   in
   (* The paper cites the ~50 ms interactive budget (A1, SIGMOD'20): a

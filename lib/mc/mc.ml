@@ -39,7 +39,9 @@ let fingerprint (r : Engine.report) =
   Fmt.str "%a"
     (Fmt.array ~sep:(Fmt.any ";") (fun ppf (q : Engine.query_report) ->
          Fmt.pf ppf "%d:%s:%s:[%s]" q.Engine.qid q.Engine.name
-           (match q.Engine.completed with None -> "TIMEOUT" | Some _ -> "ok")
+           (match q.Engine.outcome with
+           | Engine.Completed _ -> "ok"
+           | o -> String.uppercase_ascii (Engine.outcome_name o))
            (show_rows q.Engine.rows)))
     r.Engine.queries
 
@@ -152,7 +154,7 @@ let judge s (report : Engine.report) =
   Array.iteri
     (fun i (q : Engine.query_report) ->
       if !violation = None then
-        match q.Engine.completed with
+        match Engine.completed_at q with
         | None ->
           violation := Some (Fmt.str "query %d (%s) did not complete" i q.Engine.name)
         | Some _ ->

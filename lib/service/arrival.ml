@@ -1,0 +1,88 @@
+(* Open-loop arrival processes.
+
+   Unlike the closed TCR loop of the paper's Figure 7 — where a fixed
+   client pool issues the next query only after the previous one returns,
+   so the system can never be offered more load than it absorbs — an
+   open-loop source keeps emitting on its own schedule. Overload is then
+   a real state the service must handle, which is the whole point of the
+   admission-control layer built on top.
+
+   Both processes are memoryless, so generation is a simple state
+   machine over exponential draws; everything comes from one seeded
+   {!Prng.t}, making a workload a pure function of its seed. *)
+
+type process =
+  | Poisson of { rate_qps : float }
+      (* constant-rate Poisson: exponential inter-arrivals, mean 1/rate *)
+  | Bursty of {
+      base_qps : float;
+      burst_qps : float;
+      mean_dwell : Sim_time.t; (* mean sojourn in each state *)
+    }
+      (* 2-state MMPP: a background rate with exponentially-distributed
+         excursions to a burst rate — the canonical bursty-traffic model *)
+
+type state =
+  | Steady
+  | Mmpp of {
+      mutable burst : bool;
+      mutable until : Sim_time.t; (* current state's dwell expires here *)
+    }
+
+type t = {
+  process : process;
+  prng : Prng.t;
+  state : state;
+  mutable clock : Sim_time.t; (* last emitted arrival *)
+}
+
+let interval prng ~rate_qps =
+  if rate_qps <= 0.0 then invalid_arg "Arrival: rate must be positive";
+  Sim_time.of_float_ns (Prng.exponential prng ~mean:(1e9 /. rate_qps))
+
+let dwell prng ~mean = Sim_time.of_float_ns (Prng.exponential prng ~mean:(float_of_int mean))
+
+let create ?(seed = 0x0a51) process =
+  let prng = Prng.create seed in
+  let state =
+    match process with
+    | Poisson _ -> Steady
+    | Bursty { mean_dwell; _ } -> Mmpp { burst = false; until = dwell prng ~mean:mean_dwell }
+  in
+  { process; prng; state; clock = Sim_time.zero }
+
+(* Next arrival instant, strictly advancing. Memorylessness makes the
+   MMPP exact with redraw-at-boundary: an exponential conditioned on
+   exceeding the remaining dwell restarts fresh in the next state. *)
+let rec next t =
+  match (t.process, t.state) with
+  | Poisson { rate_qps }, _ ->
+    t.clock <- Sim_time.add t.clock (interval t.prng ~rate_qps);
+    t.clock
+  | Bursty { base_qps; burst_qps; mean_dwell }, Mmpp m ->
+    let rate_qps = if m.burst then burst_qps else base_qps in
+    let candidate = Sim_time.add t.clock (interval t.prng ~rate_qps) in
+    if Sim_time.compare candidate m.until <= 0 then begin
+      t.clock <- candidate;
+      t.clock
+    end
+    else begin
+      t.clock <- m.until;
+      m.burst <- not m.burst;
+      m.until <- Sim_time.add m.until (dwell t.prng ~mean:mean_dwell);
+      next t
+    end
+  | Bursty _, Steady -> assert false
+
+(* All arrivals up to the horizon, for offline workload construction. *)
+let take t ~horizon =
+  let out = Vec.create ~dummy:Sim_time.zero in
+  let rec go () =
+    let at = next t in
+    if Sim_time.compare at horizon <= 0 then begin
+      Vec.push out at;
+      go ()
+    end
+  in
+  go ();
+  Vec.to_array out

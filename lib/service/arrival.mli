@@ -1,0 +1,26 @@
+(** Open-loop arrival processes: seeded, deterministic in simulated time.
+
+    The paper only ever drives PSTM with a closed TCR loop; the service
+    layer needs open-loop sources, where offered load is independent of
+    completions and overload actually happens. *)
+
+type process =
+  | Poisson of { rate_qps : float }  (** constant-rate Poisson stream *)
+  | Bursty of {
+      base_qps : float;
+      burst_qps : float;
+      mean_dwell : Sim_time.t;
+    }
+      (** 2-state MMPP: exponentially-dwelling excursions from
+          [base_qps] to [burst_qps] *)
+
+type t
+
+(** Equal seeds and process yield equal arrival sequences. *)
+val create : ?seed:int -> process -> t
+
+(** The next arrival instant; strictly increasing across calls. *)
+val next : t -> Sim_time.t
+
+(** Every arrival up to (and including) [horizon]. *)
+val take : t -> horizon:Sim_time.t -> Sim_time.t array

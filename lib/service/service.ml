@@ -1,0 +1,370 @@
+(* Concurrent query service layer.
+
+   This is the Banyan-style layer the ROADMAP names: the engines expose
+   an open session ({!Engine.service_handle}); this module turns one into
+   a multi-tenant query service facing open-loop traffic —
+
+   - per-tenant FIFO queues under weighted-fair scheduling (start-time
+     virtual clocks: each dispatch advances the tenant's vtime by
+     1/weight; the backlogged tenant with the smallest vtime goes next)
+     within strict priority classes;
+   - admission control: at enqueue — never mid-run — a query is shed
+     when its projected latency (queue depth ahead of it times the
+     observed service-time estimate) would blow the p99 SLO. Shed
+     queries never touch the engine: no events, no state, no cleanup;
+   - scoped cancellation: a client abandons a query once its patience
+     runs out. Still queued, it just leaves the queue; mid-flight, the
+     engine's scoped cancellation reclaims trackers, memos, and
+     in-flight traversers under [~check:true];
+   - optional per-query deadlines ([deadline_factor] x SLO), handed to
+     the engine so a straggler is cut off as [Timed_out] even when the
+     client is patient.
+
+   Everything runs in the engine's simulated time through the handle's
+   [sh_at]/[sh_on_terminal] callbacks, and all randomness comes from the
+   seeded arrival generators — a run is a pure function of
+   (config, workload, seed). *)
+
+type tenant_config = {
+  weight : float; (* weighted-fair share, > 0 *)
+  priority : int; (* strict class: higher always dispatches first *)
+  arrivals : Arrival.process;
+  patience : Sim_time.t option; (* client abandons the query after this *)
+}
+
+let tenant ?(weight = 1.0) ?(priority = 0) ?patience arrivals =
+  if weight <= 0.0 then invalid_arg "Service.tenant: weight must be positive";
+  { weight; priority; arrivals; patience }
+
+type config = {
+  tenants : tenant_config array;
+  horizon : Sim_time.t; (* arrivals stop here; queued work still drains *)
+  max_inflight : int; (* dispatch window into the engine *)
+  slo : Sim_time.t; (* target p99 latency for admitted queries *)
+  admission : bool; (* load shedding on/off (off = every query queues) *)
+  headroom : float; (* shed when projected latency > headroom x SLO *)
+  deadline_factor : float option; (* per-query engine deadline, x SLO *)
+  seed : int;
+}
+
+let config ?(max_inflight = 4) ?(slo = Sim_time.ms 50) ?(admission = true) ?(headroom = 2.0)
+    ?deadline_factor ?(seed = 0x53ff) ~horizon tenants =
+  if Array.length tenants = 0 then invalid_arg "Service.config: no tenants";
+  if max_inflight <= 0 then invalid_arg "Service.config: max_inflight must be positive";
+  { tenants; horizon; max_inflight; slo; admission; headroom; deadline_factor; seed }
+
+(* One query's life as the service saw it. *)
+type query = {
+  q_tenant : int;
+  q_priority : int;
+  q_arrived : Sim_time.t;
+  q_outcome : Engine.outcome;
+  q_latency_ms : float option; (* arrival -> completion, completed only *)
+}
+
+type tenant_stats = {
+  ts_offered : int;
+  ts_admitted : int;
+  ts_shed : int;
+  ts_completed : int;
+  ts_cancelled : int;
+  ts_timed_out : int;
+  ts_mean_ms : float;
+  ts_p50_ms : float;
+  ts_p99_ms : float;
+}
+
+type result = {
+  r_engine : string;
+  r_report : Engine.report; (* admitted queries only, from the engine *)
+  r_queries : query array; (* every offered query, in arrival order *)
+  r_per_tenant : tenant_stats array;
+  r_duration : Sim_time.t;
+}
+
+(* --- Internal state ---------------------------------------------------- *)
+
+type status =
+  | Queued
+  | Dispatched of { qid : int; at : Sim_time.t }
+  | Terminal of Engine.outcome
+
+type squery = {
+  sq_tenant : int;
+  sq_priority : int;
+  sq_arrived : Sim_time.t;
+  sq_program : Program.t;
+  mutable sq_status : status;
+}
+
+type tstate = {
+  t_cfg : tenant_config;
+  t_queue : squery Queue.t;
+  mutable t_vtime : float;
+  mutable t_seq : int; (* arrivals generated so far *)
+}
+
+let run (module E : Engine.S) ?common ~graph ~(config : config)
+    ~(program : tenant:int -> seq:int -> Program.t) () =
+  let h = E.start ?common ~graph () in
+  let slo_ns = float_of_int (Sim_time.to_ns config.slo) in
+  let deadline =
+    Option.map (fun f -> Sim_time.of_float_ns (f *. slo_ns)) config.deadline_factor
+  in
+  let tenants =
+    Array.map
+      (fun t_cfg -> { t_cfg; t_queue = Queue.create (); t_vtime = 0.0; t_seq = 0 })
+      config.tenants
+  in
+  let offered : squery list ref = ref [] in (* reverse arrival order *)
+  let by_qid : (int, squery) Hashtbl.t = Hashtbl.create 64 in
+  let inflight = ref 0 in
+  let queued = ref 0 in
+  (* Service-time estimate (dispatch -> completion, ns): EWMA over
+     completions, seeded at SLO/2 so an empty service admits freely. *)
+  let svc_est = ref (slo_ns /. 2.0) in
+  let observe_service ns = svc_est := (0.8 *. !svc_est) +. (0.2 *. ns) in
+  (* Projected latency of a query admitted now: the work ahead of it
+     (everything queued or running) drains in windows of [max_inflight],
+     each taking about one service time, plus its own. *)
+  let projected_ns () =
+    let waiting = float_of_int (!queued + !inflight) in
+    ((waiting /. float_of_int config.max_inflight) +. 1.0) *. !svc_est
+  in
+  let backlogged t = not (Queue.is_empty t.t_queue) in
+  (* Weighted-fair pick: highest priority class first, then smallest
+     virtual time, then lowest tenant index — all deterministic. *)
+  let pick_tenant () =
+    let best = ref None in
+    Array.iter
+      (fun t ->
+        if backlogged t then
+          match !best with
+          | None -> best := Some t
+          | Some b ->
+            if
+              t.t_cfg.priority > b.t_cfg.priority
+              || (t.t_cfg.priority = b.t_cfg.priority && t.t_vtime < b.t_vtime)
+            then best := Some t)
+      tenants;
+    !best
+  in
+  let rec try_dispatch () =
+    if !inflight < config.max_inflight then
+      match pick_tenant () with
+      | None -> ()
+      | Some t -> begin
+        match Queue.pop t.t_queue with
+        | sq when sq.sq_status <> Queued ->
+          (* Abandoned while waiting: already terminal, just discard. *)
+          try_dispatch ()
+        | sq ->
+          decr queued;
+          t.t_vtime <- t.t_vtime +. (1.0 /. t.t_cfg.weight);
+          let now = h.Engine.sh_now () in
+          let qid =
+            h.Engine.sh_submit
+              (Engine.submit ~at:sq.sq_arrived ~tenant:sq.sq_tenant ~priority:sq.sq_priority
+                 ?deadline sq.sq_program)
+          in
+          sq.sq_status <- Dispatched { qid; at = now };
+          Hashtbl.replace by_qid qid sq;
+          incr inflight;
+          try_dispatch ()
+        | exception Queue.Empty -> assert false
+      end
+  in
+  h.Engine.sh_on_terminal (fun qid outcome ->
+      match Hashtbl.find_opt by_qid qid with
+      | None -> ()
+      | Some sq ->
+        (match sq.sq_status with
+        | Dispatched { at; _ } ->
+          sq.sq_status <- Terminal outcome;
+          decr inflight;
+          (match outcome with
+          | Engine.Completed c ->
+            observe_service (float_of_int (Sim_time.to_ns (Sim_time.diff c at)))
+          | _ -> ())
+        | Queued | Terminal _ -> ());
+        try_dispatch ());
+  (* When a tenant comes back from idle its virtual clock must not let
+     it claim the whole backlog it "saved up"; re-sync to the smallest
+     backlogged vtime, standard WFQ practice. *)
+  let resync_vtime t =
+    let vmin = ref None in
+    Array.iter
+      (fun t' ->
+        if t' != t && backlogged t' then
+          match !vmin with
+          | None -> vmin := Some t'.t_vtime
+          | Some v -> vmin := Some (min v t'.t_vtime))
+      tenants;
+    match !vmin with None -> () | Some v -> t.t_vtime <- max t.t_vtime v
+  in
+  let arrive tenant_idx at =
+    let t = tenants.(tenant_idx) in
+    let sq =
+      {
+        sq_tenant = tenant_idx;
+        sq_priority = t.t_cfg.priority;
+        sq_arrived = at;
+        sq_program = program ~tenant:tenant_idx ~seq:t.t_seq;
+        sq_status = Queued;
+      }
+    in
+    t.t_seq <- t.t_seq + 1;
+    offered := sq :: !offered;
+    if config.admission && projected_ns () > config.headroom *. slo_ns then
+      (* Shed at the door: the query never touches the engine. *)
+      sq.sq_status <- Terminal Engine.Shed
+    else begin
+      if not (backlogged t) then resync_vtime t;
+      Queue.add sq t.t_queue;
+      incr queued;
+      (match t.t_cfg.patience with
+      | None -> ()
+      | Some p ->
+        h.Engine.sh_at (Sim_time.add at p) (fun () ->
+            match sq.sq_status with
+            | Queued ->
+              (* Still waiting: leaves the queue without ever reaching
+                 the engine (discarded lazily on pop). *)
+              sq.sq_status <- Terminal Engine.Cancelled;
+              decr queued
+            | Dispatched { qid; _ } ->
+              (* Mid-flight: scoped cancellation inside the engine. *)
+              h.Engine.sh_cancel ~qid ~at:(h.Engine.sh_now ())
+            | Terminal _ -> ()));
+      try_dispatch ()
+    end
+  in
+  (* Open-loop sources: one seeded generator per tenant, self-scheduling
+     through the handle until the horizon. *)
+  Array.iteri
+    (fun idx t ->
+      let gen = Arrival.create ~seed:(config.seed + (0x9e37 * (idx + 1))) t.t_cfg.arrivals in
+      let rec schedule_next () =
+        let at = Arrival.next gen in
+        if Sim_time.compare at config.horizon <= 0 then
+          h.Engine.sh_at at (fun () ->
+              arrive idx at;
+              schedule_next ())
+      in
+      schedule_next ())
+    tenants;
+  h.Engine.sh_drive ~until:None;
+  let report = h.Engine.sh_finish () in
+  (* --- Aggregate -------------------------------------------------------- *)
+  let queries =
+    Array.map
+      (fun sq ->
+        let outcome =
+          match sq.sq_status with
+          | Terminal o -> o
+          | Dispatched { qid; _ } ->
+            (* The engine finished first (run deadline): its report has
+               the authoritative outcome. *)
+            report.Engine.queries.(qid).Engine.outcome
+          | Queued -> Engine.Cancelled
+        in
+        {
+          q_tenant = sq.sq_tenant;
+          q_priority = sq.sq_priority;
+          q_arrived = sq.sq_arrived;
+          q_outcome = outcome;
+          q_latency_ms =
+            (match outcome with
+            | Engine.Completed c -> Some (Sim_time.to_ms (Sim_time.diff c sq.sq_arrived))
+            | _ -> None);
+        })
+      (Array.of_list (List.rev !offered))
+  in
+  let tenant_stats idx =
+    let mine = Array.to_list (Array.of_seq (Seq.filter (fun q -> q.q_tenant = idx) (Array.to_seq queries))) in
+    let count p = List.fold_left (fun n q -> if p q.q_outcome then n + 1 else n) 0 mine in
+    let lats =
+      Array.of_list (List.filter_map (fun q -> q.q_latency_ms) mine)
+    in
+    {
+      ts_offered = List.length mine;
+      ts_admitted = count (fun o -> o <> Engine.Shed);
+      ts_shed = count (fun o -> o = Engine.Shed);
+      ts_completed = count (function Engine.Completed _ -> true | _ -> false);
+      ts_cancelled = count (fun o -> o = Engine.Cancelled);
+      ts_timed_out = count (fun o -> o = Engine.Timed_out);
+      ts_mean_ms = Stats.mean lats;
+      ts_p50_ms = Stats.percentile lats 50.0;
+      ts_p99_ms = Stats.percentile lats 99.0;
+    }
+  in
+  {
+    r_engine = report.Engine.engine;
+    r_report = report;
+    r_queries = queries;
+    r_per_tenant = Array.init (Array.length tenants) tenant_stats;
+    r_duration = report.Engine.makespan;
+  }
+
+(* --- Whole-service aggregates ------------------------------------------ *)
+
+let count r p = Array.fold_left (fun n q -> if p q.q_outcome then n + 1 else n) 0 r.r_queries
+let offered r = Array.length r.r_queries
+let admitted r = count r (fun o -> o <> Engine.Shed)
+let shed r = count r (fun o -> o = Engine.Shed)
+let completed r = count r (function Engine.Completed _ -> true | _ -> false)
+let cancelled r = count r (fun o -> o = Engine.Cancelled)
+let timed_out r = count r (fun o -> o = Engine.Timed_out)
+let shed_rate r = if offered r = 0 then 0.0 else float_of_int (shed r) /. float_of_int (offered r)
+
+let latencies_ms r =
+  Array.of_list (List.filter_map (fun q -> q.q_latency_ms) (Array.to_list r.r_queries))
+
+let mean_ms r = Stats.mean (latencies_ms r)
+let p50_ms r = Stats.percentile (latencies_ms r) 50.0
+let p99_ms r = Stats.percentile (latencies_ms r) 99.0
+
+(* Stable digest of a whole run, for determinism tests: every query's
+   life plus the engine's event count. *)
+let fingerprint r =
+  Fmt.str "%s|events=%d|%a" r.r_engine r.r_report.Engine.events
+    (Fmt.array ~sep:(Fmt.any ";") (fun ppf q ->
+         Fmt.pf ppf "%d:%d:%d:%s:%s" q.q_tenant q.q_priority (Sim_time.to_ns q.q_arrived)
+           (Engine.outcome_name q.q_outcome)
+           (match q.q_latency_ms with None -> "-" | Some l -> Fmt.str "%.3f" l)))
+    r.r_queries
+
+let result_json r =
+  let module J = Pstm_obs.Json in
+  let tenant_json idx ts =
+    J.Obj
+      [
+        ("tenant", J.Int idx);
+        ("offered", J.Int ts.ts_offered);
+        ("admitted", J.Int ts.ts_admitted);
+        ("shed", J.Int ts.ts_shed);
+        ("completed", J.Int ts.ts_completed);
+        ("cancelled", J.Int ts.ts_cancelled);
+        ("timed_out", J.Int ts.ts_timed_out);
+        ("mean_ms", J.Float ts.ts_mean_ms);
+        ("p50_ms", J.Float ts.ts_p50_ms);
+        ("p99_ms", J.Float ts.ts_p99_ms);
+      ]
+  in
+  J.Obj
+    [
+      ("engine", J.Str r.r_engine);
+      ("duration_ns", J.Int (Sim_time.to_ns r.r_duration));
+      ("offered", J.Int (offered r));
+      ("admitted", J.Int (admitted r));
+      ("shed", J.Int (shed r));
+      ("completed", J.Int (completed r));
+      ("cancelled", J.Int (cancelled r));
+      ("timed_out", J.Int (timed_out r));
+      ("shed_rate", J.Float (shed_rate r));
+      ("mean_ms", J.Float (mean_ms r));
+      ("p50_ms", J.Float (p50_ms r));
+      ("p99_ms", J.Float (p99_ms r));
+      ("per_tenant", J.List (Array.to_list (Array.mapi tenant_json r.r_per_tenant)));
+      ("engine_events", J.Int r.r_report.Engine.events);
+    ]

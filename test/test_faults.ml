@@ -76,7 +76,7 @@ let fingerprint (r : Engine.report) =
     r.Engine.events
     (Fmt.array ~sep:(Fmt.any ",") (fun ppf (q : Engine.query_report) ->
          Fmt.pf ppf "%d:%s" q.Engine.qid
-           (match q.Engine.completed with None -> "T" | Some c -> string_of_int (Sim_time.to_ns c))))
+           (match Engine.completed_at q with None -> "T" | Some c -> string_of_int (Sim_time.to_ns c))))
     r.Engine.queries
     (show_rows r.Engine.queries.(0).Engine.rows)
     (Metrics.fault_drops m) (Metrics.fault_dups m) (Metrics.fault_delays m)
@@ -115,7 +115,7 @@ let test_registry_engines_match_oracle () =
             E.run ~common:(common_with spec) ~graph [| Engine.submit program |]
           in
           let q = report.Engine.queries.(0) in
-          match q.Engine.completed with
+          match Engine.completed_at q with
           | None ->
             Alcotest.failf "%s under %s faults did not complete" engine_name scenario_name
           | Some _ ->
