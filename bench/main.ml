@@ -49,6 +49,12 @@ let experiments =
     ( "serve",
       "Service layer: open-loop load, admission control vs baseline",
       Bench_serve.run );
+    ( "scale",
+      "Fig 9 extension: flat vs hierarchical tracking at 8-256 nodes",
+      Bench_scale.run );
+    ( "scale-smoke",
+      "Smoke: hierarchical progress tracking over every registry engine",
+      Bench_scale.smoke );
     ( "serve-smoke",
       "Smoke: the query service over every registry engine, sanitizer on",
       Bench_serve.smoke );
@@ -101,6 +107,7 @@ let () =
         if
           n <> "smoke" && n <> "faults" && n <> "repartition-smoke" && n <> "batch-smoke"
           && n <> "mc-smoke" && n <> "critpath-smoke" && n <> "serve-smoke"
+          && n <> "scale-smoke"
         then
           run_one n)
       experiments

@@ -185,7 +185,19 @@ let run (module E : Engine.S) ?common ~graph ~(config : config)
           (match outcome with
           | Engine.Completed c ->
             observe_service (float_of_int (Sim_time.to_ns (Sim_time.diff c at)))
-          | _ -> ())
+          | Engine.Timed_out | Engine.Cancelled ->
+            (* A query that died mid-flight still held a slot for its
+               whole residency; feeding the elapsed time (terminal fires
+               at the simulated instant of the cut, so this is
+               deterministic) keeps the estimate honest under overload.
+               Fed only completions, the EWMA goes stale exactly when
+               most queries time out — and admission turns permissive
+               when it most needs to shed. The elapsed time
+               under-reports the service the query *would* have needed,
+               so the estimate stays conservative. *)
+            observe_service
+              (float_of_int (Sim_time.to_ns (Sim_time.diff (h.Engine.sh_now ()) at)))
+          | Engine.Shed -> () (* never dispatched; unreachable here *))
         | Queued | Terminal _ -> ());
         try_dispatch ());
   (* When a tenant comes back from idle its virtual clock must not let

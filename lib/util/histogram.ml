@@ -57,6 +57,9 @@ let max_seen t = if t.total = 0 then None else Some t.max_seen
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+  (* An empty histogram has no quantiles; 0.0 is the contract (rather
+     than an option) so idle-engine metrics print as zeros instead of
+     whatever the bucket walk would invent from infinity extrema. *)
   if t.total = 0 then 0.0
   else begin
     let rank = int_of_float (ceil (q *. float_of_int t.total)) in

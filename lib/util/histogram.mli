@@ -18,11 +18,14 @@ val min_seen : t -> float option
 val max_seen : t -> float option
 
 (** Approximate quantile ([q] in [0,1]); bounded relative error given by
-    the bucket growth ratio, clamped by the observed extrema. *)
+    the bucket growth ratio, clamped by the observed extrema. Returns
+    [0.0] on an empty histogram — a defined value, so metrics printed
+    from an idle engine read as zeros rather than bucket-walk garbage. *)
 val quantile : t -> float -> float
 
 (** [(p50, p95, p99)] in one call — the summary triple the metrics
-    pretty-printer and the benchmark JSON export share. *)
+    pretty-printer and the benchmark JSON export share. [(0., 0., 0.)]
+    on an empty histogram. *)
 val quantiles : t -> float * float * float
 
 (** Approximate percentile ([q] in [0,100]); [quantile] scaled. *)

@@ -246,6 +246,11 @@ let test_histogram_edges () =
   let open Pstm_util in
   let h = Histogram.create () in
   Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Histogram.percentile h 99.0);
+  (* The empty-histogram contract is a defined 0.0 at every entry point:
+     quantile, the (p50, p95, p99) triple, and percentile — an idle
+     engine's metrics must print as zeros, not bucket-walk garbage. *)
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.quantile h 0.5);
+  Alcotest.(check bool) "empty quantile triple" true (Histogram.quantiles h = (0., 0., 0.));
   Alcotest.(check bool) "empty min" true (Histogram.min_seen h = None);
   Alcotest.(check bool) "empty max" true (Histogram.max_seen h = None);
   Histogram.add h 3.5;

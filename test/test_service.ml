@@ -166,6 +166,48 @@ let test_cancel_mid_flight_clean () =
   | [ (q, Engine.Cancelled) ] when q = qid -> ()
   | _ -> Alcotest.fail "terminal callback did not fire exactly once with Cancelled")
 
+(* Regression: a cancelled query used to strand its pending causal
+   coalescer bindings in the per-worker [cz_coalesce] table (and, under
+   hierarchical tracking, [cz_delegate]). The sanitizer now asserts both
+   tables empty at finish, so this run — causal tracing on, cancellation
+   landing mid-flight — fails loudly if the cleanup regresses. Runs flat
+   and with a fanout-2 delegate tree. *)
+let test_cancel_strands_no_causal_state () =
+  let graph = fixture_graph () in
+  let program = khop graph 3 in
+  List.iter
+    (fun (mode, tracker_fanout) ->
+      let options = { Async_engine.default_options with Async_engine.tracker_fanout } in
+      let full =
+        Async_engine.run ~options ~common:checked ~cluster_config:small_cluster
+          ~channel_config:Channel.default_config ~graph
+          [| Engine.submit program |]
+      in
+      let lat =
+        match Engine.latency full.Engine.queries.(0) with
+        | Some l -> l
+        | None -> Alcotest.failf "%s: fixture query did not complete" mode
+      in
+      let halfway = Sim_time.of_float_ns (float_of_int (Sim_time.to_ns lat) /. 2.0) in
+      let obs = Pstm_obs.Recorder.create ~causal:true () in
+      let h =
+        Async_engine.create ~options
+          ~common:(Engine.Common.with_obs obs checked)
+          ~cluster_config:small_cluster ~channel_config:Channel.default_config ~graph ()
+      in
+      let qid = h.Engine.sh_submit (Engine.submit program) in
+      h.Engine.sh_cancel ~qid ~at:halfway;
+      h.Engine.sh_drive ~until:None;
+      match h.Engine.sh_finish () with
+      | report -> (
+        match report.Engine.queries.(qid).Engine.outcome with
+        | Engine.Cancelled -> ()
+        | o ->
+          Alcotest.failf "%s: expected Cancelled, got %s" mode (Engine.outcome_name o))
+      | exception Engine.Check_violation why ->
+        Alcotest.failf "%s: stranded state after cancellation: %s" mode why)
+    [ ("flat", None); ("hierarchical", Some 2) ]
+
 let test_per_query_deadline () =
   let graph = fixture_graph () in
   let program = khop graph 3 in
@@ -261,6 +303,39 @@ let test_overload_admitted_meet_slo () =
   if p99_base <= 2.0 *. p99 then
     Alcotest.failf "baseline p99 %.3fms did not collapse vs guarded %.3fms" p99_base p99
 
+(* Regression: [observe_service] used to learn only from completions.
+   Under a workload where every admitted query blows its engine deadline
+   there are no completions, so the admission EWMA stayed frozen at its
+   optimistic seed (slo/2) and the service kept admitting queries that
+   were doomed to time out. Timeouts (and abandonments) now feed the
+   EWMA at their elapsed time, so after a handful of timed-out queries
+   the projected latency crosses the headroom and the service sheds at
+   the door instead. *)
+let test_timeouts_feed_admission () =
+  let graph = fixture_graph () in
+  (* Deadline = 2 x SLO, far below the query's real latency: nothing can
+     complete, so timeouts are the only learning signal available. *)
+  let config =
+    Service.config ~max_inflight:2 ~slo:(Sim_time.us 10) ~admission:true ~headroom:2.0
+      ~deadline_factor:2.0 ~seed:21 ~horizon:(Sim_time.ms 2)
+      [| Service.tenant (Arrival.Poisson { rate_qps = 100_000.0 }) |]
+  in
+  let r =
+    Service.run (graphdance ()) ~common:checked ~graph ~config
+      ~program:(fun ~tenant:_ ~seq:_ -> khop graph 3)
+      ()
+  in
+  Alcotest.(check int) "nothing can complete" 0 (Service.completed r);
+  if Service.timed_out r = 0 then Alcotest.fail "no query timed out (fixture too easy)";
+  if Service.shed r = 0 then
+    Alcotest.fail "admission never learned from timeouts: no shedding";
+  (* Once the EWMA has absorbed a few deadline-elapsed observations the
+     projection stays above headroom x SLO, so shed queries must come to
+     dominate admitted-and-doomed ones. *)
+  if Service.shed r <= Service.timed_out r then
+    Alcotest.failf "admission barely reacted: shed %d <= timed out %d" (Service.shed r)
+      (Service.timed_out r)
+
 let () =
   Alcotest.run "service"
     [
@@ -276,6 +351,8 @@ let () =
       ( "cancellation",
         [
           Alcotest.test_case "mid-flight, sanitizer clean" `Quick test_cancel_mid_flight_clean;
+          Alcotest.test_case "no stranded causal state (flat + hierarchical)" `Quick
+            test_cancel_strands_no_causal_state;
           Alcotest.test_case "per-query deadline" `Quick test_per_query_deadline;
           Alcotest.test_case "every engine, via patience" `Quick test_cancellation_all_engines;
         ] );
@@ -285,5 +362,7 @@ let () =
             test_shed_consumes_no_engine_events;
           Alcotest.test_case "overload: admitted meet SLO" `Quick
             test_overload_admitted_meet_slo;
+          Alcotest.test_case "timeouts feed the admission EWMA" `Quick
+            test_timeouts_feed_admission;
         ] );
     ]
